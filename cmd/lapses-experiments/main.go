@@ -1,0 +1,72 @@
+// Command lapses-experiments regenerates the tables and figures of the
+// LAPSES paper's evaluation section.
+//
+//	lapses-experiments -exp table3                 # one experiment
+//	lapses-experiments -exp all -fidelity quick    # everything, fast
+//	lapses-experiments -exp fig6 -fidelity paper   # 400k-message fidelity
+//
+// Output is the paper's row/series format; see EXPERIMENTS.md for the
+// committed paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lapses/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, table3, fig6, table4, table5, or all")
+	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for plottable experiments")
+	flag.Parse()
+
+	f, err := experiments.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := experiments.RunByName(os.Stdout, name, f, *seed); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" && hasCSV(name) {
+			path := filepath.Join(*csvDir, name+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCSVByName(file, name, f, *seed); err != nil {
+				file.Close()
+				fatal(err)
+			}
+			if err := file.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("[csv written to %s]\n", path)
+		}
+		fmt.Printf("\n[%s done in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func hasCSV(name string) bool {
+	switch name {
+	case "fig5", "table3", "fig6", "table4":
+		return true
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lapses-experiments:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,119 @@
+// Command lapses-sim runs one network simulation and prints its results.
+//
+// Example: reproduce one LA-adaptive point of Fig. 5(a):
+//
+//	lapses-sim -load 0.5 -pattern uniform -selection static-xy
+//
+// Or a deterministic router without look-ahead on transpose traffic:
+//
+//	lapses-sim -alg xy -lookahead=false -pattern transpose -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/traffic"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+
+	dims := flag.String("dims", "16x16", "mesh radices, e.g. 16x16 or 8x8x8")
+	torus := flag.Bool("torus", false, "wrap the mesh into a torus")
+	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per physical channel")
+	escape := flag.Int("escape", cfg.EscapeVCs, "escape VCs (Duato routing)")
+	buf := flag.Int("buf", cfg.BufDepth, "input buffer depth (flits)")
+	la := flag.Bool("lookahead", cfg.LookAhead, "use the 4-stage LA-PROUD pipeline")
+	alg := flag.String("alg", cfg.Algorithm.String(), "routing algorithm: xy, yx, duato, north-last, west-first, negative-first")
+	tbl := flag.String("table", cfg.Table.String(), "table organization: full, es, meta-row, meta-block, interval")
+	sel := flag.String("selection", cfg.Selection.String(), "path selection: static-xy, min-mux, lfu, lru, max-credit, random")
+	pattern := flag.String("pattern", cfg.Pattern.String(), "traffic pattern: uniform, transpose, bit-reversal, shuffle, ...")
+	load := flag.Float64("load", cfg.Load, "normalized load (1.0 = bisection saturation)")
+	msgLen := flag.Int("msglen", cfg.MsgLen, "message length in flits")
+	warmup := flag.Int("warmup", cfg.Warmup, "warm-up messages (excluded from stats)")
+	measure := flag.Int("measure", cfg.Measure, "measured messages")
+	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	flag.Parse()
+
+	var err error
+	if cfg.Dims, err = parseDims(*dims); err != nil {
+		fatal(err)
+	}
+	cfg.Torus = *torus
+	cfg.VCs, cfg.EscapeVCs, cfg.BufDepth = *vcs, *escape, *buf
+	cfg.LookAhead = *la
+	if cfg.Algorithm, err = core.ParseAlg(*alg); err != nil {
+		fatal(err)
+	}
+	if cfg.Table, err = parseTable(*tbl); err != nil {
+		fatal(err)
+	}
+	if cfg.Selection, err = selection.ParseKind(*sel); err != nil {
+		fatal(err)
+	}
+	if cfg.Pattern, err = traffic.ParseKind(*pattern); err != nil {
+		fatal(err)
+	}
+	cfg.Load, cfg.MsgLen = *load, *msgLen
+	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network        %s  (%d VCs, %d-flit buffers, link delay %d)\n",
+		cfg.Mesh(), cfg.VCs, cfg.BufDepth, cfg.LinkDelay)
+	fmt.Printf("router         %s, %s routing, %s table, %s selection\n",
+		pipeName(cfg.LookAhead), cfg.Algorithm, cfg.Table, cfg.Selection)
+	fmt.Printf("workload       %s, load %.2f, %d-flit messages\n", cfg.Pattern, cfg.Load, cfg.MsgLen)
+	fmt.Printf("avg latency    %s cycles (95%% CI +/- %.2f)\n", res.LatencyString(), res.CI95)
+	fmt.Printf("percentiles    p50 %.0f / p95 %.0f / p99 %.0f cycles\n", res.P50, res.P95, res.P99)
+	fmt.Printf("net latency    %.1f cycles (excl. source queueing)\n", res.NetLatency)
+	fmt.Printf("avg hops       %.2f\n", res.AvgHops)
+	fmt.Printf("throughput     %.4f flits/node/cycle\n", res.Throughput)
+	fmt.Printf("delivered      %d messages over %d cycles\n", res.Delivered, res.Cycles)
+	if res.Saturated {
+		fmt.Printf("saturated      %s\n", res.SatReason)
+	}
+}
+
+func pipeName(la bool) string {
+	if la {
+		return "LA-PROUD (4-stage)"
+	}
+	return "PROUD (5-stage)"
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func parseTable(s string) (table.Kind, error) {
+	for _, k := range []table.Kind{table.KindFull, table.KindES, table.KindMetaRow, table.KindMetaBlock, table.KindInterval} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown table kind %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lapses-sim:", err)
+	os.Exit(2)
+}

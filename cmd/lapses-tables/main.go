@@ -1,0 +1,82 @@
+// Command lapses-tables prints routing-table programmings, reproducing the
+// paper's worked examples:
+//
+//	lapses-tables              # Fig. 7: ES table, North-Last, 3x3 mesh, node (1,1)
+//	lapses-tables -alg duato   # the same node programmed for Duato routing
+//	lapses-tables -meta        # Fig. 8: both meta-table mappings on 16x16
+//	lapses-tables -interval    # interval table (YX) for a node on 8x8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lapses/internal/core"
+	"lapses/internal/routing"
+	"lapses/internal/table"
+	"lapses/internal/topology"
+)
+
+func main() {
+	algName := flag.String("alg", "north-last", "algorithm to program: xy, yx, duato, north-last, west-first, negative-first")
+	meta := flag.Bool("meta", false, "print the Fig. 8 meta-table mappings instead")
+	interval := flag.Bool("interval", false, "print an interval table instead")
+	flag.Parse()
+
+	cls := routing.Class{NumVCs: 4, EscapeVCs: 1}
+
+	if *meta {
+		m := topology.NewMesh(16, 16)
+		alg := routing.NewDuato(m, cls)
+		fmt.Println("Fig. 8(a): row mapping (minimal flexibility; cluster/label per node, top row = y15)")
+		fmt.Println(table.NewMeta(m, alg, cls, 0, table.MapRow).DumpMapping())
+		fmt.Println("Fig. 8(b): block mapping (maximal flexibility)")
+		fmt.Println(table.NewMeta(m, alg, cls, 0, table.MapBlock).DumpMapping())
+		return
+	}
+
+	if *interval {
+		m := topology.NewMesh(8, 8)
+		yx := routing.NewDimOrder(m, cls, []int{1, 0})
+		node := m.ID(topology.Coord{3, 3})
+		iv := table.NewInterval(m, yx, cls, node)
+		fmt.Printf("Interval table for node (3,3) of %s, YX routing:\n", m)
+		for p := topology.Port(0); int(p) < m.NumPorts(); p++ {
+			lo, hi, ok := iv.Intervals(p)
+			if !ok {
+				fmt.Printf("  %-3s  (unused)\n", m.PortName(p))
+				continue
+			}
+			fmt.Printf("  %-3s  labels [%d, %d]\n", m.PortName(p), lo, hi)
+		}
+		return
+	}
+
+	a, err := core.ParseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lapses-tables:", err)
+		os.Exit(2)
+	}
+	m := topology.NewMesh(3, 3)
+	var alg routing.Algorithm
+	switch a {
+	case core.AlgXY:
+		alg = routing.NewDimOrder(m, cls, nil)
+	case core.AlgYX:
+		alg = routing.NewDimOrder(m, cls, []int{1, 0})
+	case core.AlgDuato:
+		alg = routing.NewDuato(m, cls)
+	case core.AlgNorthLast:
+		alg = routing.NewNorthLast(m, cls)
+	case core.AlgWestFirst:
+		alg = routing.NewWestFirst(m, cls)
+	case core.AlgNegativeFirst:
+		alg = routing.NewNegativeFirst(m, cls)
+	}
+	node := m.ID(topology.Coord{1, 1})
+	es := table.NewES(m, alg, node)
+	fmt.Printf("Fig. 7: economical-storage table at node (1,1) of a 3x3 mesh, %s routing\n", alg.Name())
+	fmt.Printf("(sign of destination offset (sx,sy) -> permitted output ports; %d entries)\n\n", es.Entries())
+	fmt.Print(es.Dump())
+}

@@ -1,0 +1,13 @@
+// Package lapses reproduces "LAPSES: A Recipe for High Performance
+// Adaptive Router Design" (Vaidya, Sivasubramaniam, Das; HPCA 1999) as a
+// Go library: a cycle-level wormhole-network simulator with the paper's
+// PROUD/LA-PROUD pipelined router models, Duato's fully adaptive routing,
+// the LRU/LFU/MAX-CREDIT path-selection heuristics, and the full-table /
+// meta-table / economical-storage / interval routing-table organizations.
+//
+// The public entry point is internal/core (Config, Run); see README.md for
+// a tour, DESIGN.md for the architecture, and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure. The
+// benchmarks in bench_test.go regenerate each experiment via
+// "go test -bench".
+package lapses

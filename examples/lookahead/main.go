@@ -1,0 +1,38 @@
+// Lookahead demonstrates the pipeline-stage saving of LA-PROUD over PROUD
+// for the short messages typical of shared-memory systems (the paper's
+// Table 3 scenario): the shorter the message, the larger the share of its
+// latency spent in per-hop header processing, and the bigger the win from
+// removing one pipeline stage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lapses/internal/core"
+	"lapses/internal/traffic"
+)
+
+func main() {
+	fmt.Println("Look-ahead benefit vs message length (16x16 mesh, uniform traffic, load 0.2)")
+	fmt.Printf("%-10s %14s %14s %10s\n", "flits", "PROUD (5-stg)", "LA-PROUD (4-stg)", "saving")
+
+	for _, msgLen := range []int{5, 10, 20, 50} {
+		run := func(lookAhead bool) float64 {
+			cfg := core.DefaultConfig()
+			cfg.LookAhead = lookAhead
+			cfg.Pattern = traffic.Uniform
+			cfg.Load = 0.2
+			cfg.MsgLen = msgLen
+			cfg.Warmup, cfg.Measure = 500, 8000
+			res, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.AvgLatency
+		}
+		proud := run(false)
+		la := run(true)
+		fmt.Printf("%-10d %14.1f %14.1f %9.1f%%\n", msgLen, proud, la, 100*(proud-la)/proud)
+	}
+}

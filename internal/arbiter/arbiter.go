@@ -1,0 +1,116 @@
+// Package arbiter provides the arbiters used inside the PROUD router
+// pipeline: round-robin arbiters for switch allocation and VC multiplexing
+// (fair, cheap, the common choice in the era's routers) and a matrix
+// arbiter (least-recently-served, as used in the SGI SPIDER) for
+// comparison and ablation.
+package arbiter
+
+// Arbiter grants one requester out of a request set each invocation.
+type Arbiter interface {
+	// Grant returns the index of the granted requester, or -1 if no bit
+	// of reqs is set. reqs is a bitmask over requester indices; the
+	// arbiter's internal priority state advances only on a grant.
+	Grant(reqs uint64) int
+	// Size returns the number of requester slots.
+	Size() int
+}
+
+// RoundRobin is a rotating-priority arbiter: after granting requester i,
+// requester i+1 has the highest priority next time.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n requesters (n <= 64).
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 || n > 64 {
+		panic("arbiter: size out of range [1,64]")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size implements Arbiter.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Grant implements Arbiter.
+func (a *RoundRobin) Grant(reqs uint64) int {
+	if reqs == 0 {
+		return -1
+	}
+	for off := 0; off < a.n; off++ {
+		i := a.next + off
+		if i >= a.n {
+			i -= a.n
+		}
+		if reqs&(1<<i) != 0 {
+			a.next = i + 1
+			if a.next == a.n {
+				a.next = 0
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// Matrix is a least-recently-served matrix arbiter: a triangular matrix of
+// priority bits where w[i][j] means i beats j; the winner's row is cleared
+// and column set, making it lowest priority.
+type Matrix struct {
+	n int
+	w [][]bool
+}
+
+// NewMatrix returns a matrix arbiter over n requesters.
+func NewMatrix(n int) *Matrix {
+	if n < 1 || n > 64 {
+		panic("arbiter: size out of range [1,64]")
+	}
+	w := make([][]bool, n)
+	for i := range w {
+		w[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			w[i][j] = true // initial priority: lower index wins
+		}
+	}
+	return &Matrix{n: n, w: w}
+}
+
+// Size implements Arbiter.
+func (a *Matrix) Size() int { return a.n }
+
+// Grant implements Arbiter.
+func (a *Matrix) Grant(reqs uint64) int {
+	if reqs == 0 {
+		return -1
+	}
+	winner := -1
+	for i := 0; i < a.n; i++ {
+		if reqs&(1<<i) == 0 {
+			continue
+		}
+		beaten := false
+		for j := 0; j < a.n; j++ {
+			if j != i && reqs&(1<<j) != 0 && a.w[j][i] {
+				beaten = true
+				break
+			}
+		}
+		if !beaten {
+			winner = i
+			break
+		}
+	}
+	if winner < 0 {
+		// Cannot happen with a consistent matrix, but stay safe.
+		return -1
+	}
+	for j := 0; j < a.n; j++ {
+		if j != winner {
+			a.w[winner][j] = false
+			a.w[j][winner] = true
+		}
+	}
+	return winner
+}

@@ -1,0 +1,330 @@
+// Package core is the public face of the LAPSES library: a declarative
+// configuration for a complete simulated interconnect built from the
+// paper's three techniques — Look-Ahead pipelining, traffic-sensitive Path
+// Selection, and Economical Storage routing tables — plus the substrate
+// they run on (wormhole switching, virtual channels, credit flow control,
+// Duato's fully adaptive routing).
+//
+// A Config describes the network, router microarchitecture, routing
+// policy, table organization, selection heuristic, and workload; Run
+// executes the paper's measurement methodology and returns aggregate
+// results. The zero-cost entry point:
+//
+//	cfg := core.DefaultConfig()           // 16x16 mesh, Table 2 settings
+//	cfg.Load = 0.3
+//	res, err := core.Run(cfg)
+//	fmt.Println(res.AvgLatency)
+package core
+
+import (
+	"fmt"
+
+	"lapses/internal/network"
+	"lapses/internal/router"
+	"lapses/internal/routing"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/topology"
+	"lapses/internal/traffic"
+)
+
+// Alg names a routing algorithm.
+type Alg int
+
+const (
+	// AlgXY is deterministic dimension-order routing (X first).
+	AlgXY Alg = iota
+	// AlgYX is deterministic dimension-order routing (Y first).
+	AlgYX
+	// AlgDuato is Duato's fully adaptive minimal routing with a
+	// dimension-order escape channel — the paper's running example.
+	AlgDuato
+	// AlgNorthLast, AlgWestFirst, AlgNegativeFirst are the Glass/Ni
+	// turn-model partially adaptive algorithms (2-D meshes only).
+	AlgNorthLast
+	AlgWestFirst
+	AlgNegativeFirst
+)
+
+// Algs lists all algorithm identifiers.
+var Algs = []Alg{AlgXY, AlgYX, AlgDuato, AlgNorthLast, AlgWestFirst, AlgNegativeFirst}
+
+func (a Alg) String() string {
+	switch a {
+	case AlgXY:
+		return "xy"
+	case AlgYX:
+		return "yx"
+	case AlgDuato:
+		return "duato"
+	case AlgNorthLast:
+		return "north-last"
+	case AlgWestFirst:
+		return "west-first"
+	case AlgNegativeFirst:
+		return "negative-first"
+	}
+	return fmt.Sprintf("Alg(%d)", int(a))
+}
+
+// ParseAlg converts an algorithm name to its identifier.
+func ParseAlg(s string) (Alg, error) {
+	for _, a := range Algs {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Deterministic reports whether the algorithm yields a single path.
+func (a Alg) Deterministic() bool { return a == AlgXY || a == AlgYX }
+
+// Config describes one simulation. DefaultConfig returns the paper's
+// Table 2 baseline; adjust fields from there.
+type Config struct {
+	// Dims are the mesh radices (Table 2: 16x16); Torus adds wraparound.
+	Dims  []int
+	Torus bool
+
+	// VCs per physical channel (Table 2: 4) and how many of them form
+	// the escape class for Duato routing (1 on meshes, 2 on tori).
+	VCs       int
+	EscapeVCs int
+	// BufDepth and OutDepth are input/output buffer depths in flits
+	// (Table 2: 20 in; the small output stage holds 4).
+	BufDepth int
+	OutDepth int
+	// LinkDelay in cycles (Table 2: 1).
+	LinkDelay int
+
+	// LookAhead selects LA-PROUD (4-stage) over PROUD (5-stage).
+	LookAhead bool
+	// CutThrough selects virtual cut-through switching instead of
+	// wormhole (the paper's routers are wormhole; Table 1 surveys both).
+	// Requires MsgLen <= BufDepth.
+	CutThrough bool
+	// Algorithm, Table and Selection pick the routing policy, the table
+	// organization storing it, and the path-selection heuristic.
+	Algorithm Alg
+	Table     table.Kind
+	Selection selection.Kind
+
+	// Pattern and Load define the workload: Load is normalized so 1.0
+	// saturates the bisection under uniform traffic. MsgLen is in flits
+	// (Table 2: 20).
+	Pattern traffic.Kind
+	Load    float64
+	MsgLen  int
+	// Trace, when non-nil, replaces Pattern/Load with trace-driven
+	// injection (application workloads; see traffic.Trace). Warmup +
+	// Measure must not exceed the trace's message count.
+	Trace *traffic.Trace
+
+	// Warmup messages are excluded from statistics; Measure messages are
+	// recorded (section 2.2: 10000 and 400000).
+	Warmup  int
+	Measure int
+	// MaxCycles and SatLatency are saturation guards (0 = defaults).
+	MaxCycles  int64
+	SatLatency float64
+
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's simulation parameters (Table 2) with
+// the LAPSES router (look-ahead + LRU selection + economical storage) and
+// a reduced default sample size; use PaperFidelity for the full 400k
+// messages.
+func DefaultConfig() Config {
+	return Config{
+		Dims:       []int{16, 16},
+		VCs:        4,
+		EscapeVCs:  1,
+		BufDepth:   20,
+		OutDepth:   4,
+		LinkDelay:  1,
+		LookAhead:  true,
+		Algorithm:  AlgDuato,
+		Table:      table.KindES,
+		Selection:  selection.LRU,
+		Pattern:    traffic.Uniform,
+		Load:       0.2,
+		MsgLen:     20,
+		Warmup:     2000,
+		Measure:    30000,
+		Seed:       1,
+		SatLatency: 5000,
+	}
+}
+
+// PaperFidelity returns the config with the paper's sample sizes: 10000
+// warm-up messages and statistics over 400000 messages.
+func (c Config) PaperFidelity() Config {
+	c.Warmup = 10000
+	c.Measure = 400000
+	return c
+}
+
+// QuickFidelity returns the config with small samples for smoke tests.
+func (c Config) QuickFidelity() Config {
+	c.Warmup = 200
+	c.Measure = 3000
+	return c
+}
+
+// Mesh materializes the topology.
+func (c Config) Mesh() *topology.Mesh { return topology.New(c.Torus, c.Dims...) }
+
+// class returns the VC partition. Deterministic and turn-model algorithms
+// are deadlock-free without escape channels.
+func (c Config) class() routing.Class {
+	esc := c.EscapeVCs
+	if c.Algorithm != AlgDuato {
+		esc = 0
+	}
+	if c.Algorithm == AlgDuato && c.Torus && esc < 2 {
+		esc = 2
+	}
+	return routing.Class{NumVCs: c.VCs, EscapeVCs: esc}
+}
+
+// buildAlgorithm materializes the routing function.
+func (c Config) buildAlgorithm(m *topology.Mesh, cls routing.Class) routing.Algorithm {
+	switch c.Algorithm {
+	case AlgXY:
+		return routing.NewDimOrder(m, cls, nil)
+	case AlgYX:
+		return routing.NewDimOrder(m, cls, []int{1, 0})
+	case AlgDuato:
+		return routing.NewDuato(m, cls)
+	case AlgNorthLast:
+		return routing.NewNorthLast(m, cls)
+	case AlgWestFirst:
+		return routing.NewWestFirst(m, cls)
+	case AlgNegativeFirst:
+		return routing.NewNegativeFirst(m, cls)
+	}
+	panic("core: unknown algorithm")
+}
+
+// Validate reports configuration errors without building the network.
+func (c Config) Validate() error {
+	if len(c.Dims) == 0 {
+		return fmt.Errorf("core: no dimensions")
+	}
+	for _, k := range c.Dims {
+		if k < 2 {
+			return fmt.Errorf("core: radix %d < 2", k)
+		}
+	}
+	if c.Load < 0 {
+		return fmt.Errorf("core: negative load")
+	}
+	if c.Measure <= 0 {
+		return fmt.Errorf("core: Measure must be positive")
+	}
+	if c.CutThrough && c.MsgLen > c.BufDepth {
+		return fmt.Errorf("core: cut-through needs MsgLen (%d) <= BufDepth (%d)", c.MsgLen, c.BufDepth)
+	}
+	if c.Trace != nil && c.Warmup+c.Measure > c.Trace.Total() {
+		return fmt.Errorf("core: warmup+measure (%d) exceeds trace messages (%d)",
+			c.Warmup+c.Measure, c.Trace.Total())
+	}
+	if c.Table == table.KindInterval && !c.Algorithm.Deterministic() {
+		return fmt.Errorf("core: interval tables require a deterministic algorithm")
+	}
+	if (c.Table == table.KindMetaRow || c.Table == table.KindMetaBlock) && (len(c.Dims) != 2 || c.Torus) {
+		return fmt.Errorf("core: meta tables require a 2-D mesh")
+	}
+	return (routing.Class{NumVCs: c.VCs, EscapeVCs: c.EscapeVCs}).Validate()
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	// AvgLatency is the mean message latency in cycles, from generation
+	// at the source NI to tail delivery (includes source queueing).
+	AvgLatency float64
+	// NetLatency excludes source queueing (injection to delivery).
+	NetLatency float64
+	// CI95 is the 95% confidence half-width of AvgLatency (batch means).
+	CI95 float64
+	// P50, P95 and P99 are latency percentiles (bucketed, ~8% accuracy),
+	// exposing the tail behaviour the mean hides near saturation.
+	P50, P95, P99 float64
+	// AvgHops is the mean link traversals per message.
+	AvgHops float64
+	// Throughput is delivered flits per node per cycle.
+	Throughput float64
+	// Delivered is the number of measured messages.
+	Delivered int64
+	// Cycles is the measured span.
+	Cycles int64
+	// Saturated marks runs that hit a saturation guard; the paper
+	// prints "Sat." for these.
+	Saturated bool
+	SatReason string
+}
+
+// LatencyString renders AvgLatency the way the paper's tables do.
+func (r Result) LatencyString() string {
+	if r.Saturated {
+		return "Sat."
+	}
+	return fmt.Sprintf("%.1f", r.AvgLatency)
+}
+
+// Run builds the network described by cfg and executes the measurement
+// loop.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := cfg.Mesh()
+	cls := cfg.class()
+	alg := cfg.buildAlgorithm(m, cls)
+	ncfg := network.Config{
+		Mesh: m,
+		Router: router.Config{
+			NumVCs: cfg.VCs, BufDepth: cfg.BufDepth, OutDepth: cfg.OutDepth,
+			LookAhead: cfg.LookAhead, CutThrough: cfg.CutThrough,
+		},
+		LinkDelay: cfg.LinkDelay,
+		Algorithm: alg,
+		Class:     cls,
+		Table:     cfg.Table,
+		Selection: cfg.Selection,
+		Trace:     cfg.Trace,
+		MsgLen:    cfg.MsgLen,
+		Seed:      cfg.Seed,
+	}
+	if cfg.Trace == nil {
+		ncfg.Pattern = traffic.New(cfg.Pattern, m)
+		ncfg.MsgRate = traffic.MessageRate(m, cfg.Load, cfg.MsgLen)
+	}
+	if err := ncfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	net := network.New(ncfg)
+	run := net.Run(network.RunParams{
+		WarmupMessages:  cfg.Warmup,
+		MeasureMessages: cfg.Measure,
+		MaxCycles:       cfg.MaxCycles,
+		SatLatency:      cfg.SatLatency,
+	})
+	return Result{
+		AvgLatency: run.Latency.Mean(),
+		NetLatency: run.NetLatency.Mean(),
+		CI95:       run.LatencyBatches.HalfWidth95(),
+		P50:        run.LatencyHist.Quantile(0.50),
+		P95:        run.LatencyHist.Quantile(0.95),
+		P99:        run.LatencyHist.Quantile(0.99),
+		AvgHops:    run.Hops.Mean(),
+		Throughput: run.Throughput(),
+		Delivered:  run.Latency.N(),
+		Cycles:     run.Cycles,
+		Saturated:  run.Saturated,
+		SatReason:  run.SatReason,
+	}, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/traffic"
+)
+
+// smoke returns a fast small-mesh config.
+func smoke() Config {
+	c := DefaultConfig().QuickFidelity()
+	c.Dims = []int{8, 8}
+	return c
+}
+
+func TestRunSmoke(t *testing.T) {
+	c := smoke()
+	c.Load = 0.2
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatalf("saturated at load 0.2: %s", res.SatReason)
+	}
+	if res.Delivered != int64(c.Measure) {
+		t.Errorf("delivered %d want %d", res.Delivered, c.Measure)
+	}
+	// 8x8 mesh: avg distance ~5.33, LA-PROUD ~5 cycles/hop + 19 flits.
+	if res.AvgLatency < 30 || res.AvgLatency > 200 {
+		t.Errorf("implausible latency %v", res.AvgLatency)
+	}
+	if res.AvgHops < 4 || res.AvgHops > 7 {
+		t.Errorf("implausible hops %v", res.AvgHops)
+	}
+	if res.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+	if res.LatencyString() == "Sat." {
+		t.Error("unsaturated run prints Sat.")
+	}
+}
+
+func TestDefaultsMatchPaperTable2(t *testing.T) {
+	c := DefaultConfig()
+	if len(c.Dims) != 2 || c.Dims[0] != 16 || c.Dims[1] != 16 {
+		t.Error("default mesh is not 16x16")
+	}
+	if c.VCs != 4 || c.MsgLen != 20 || c.BufDepth != 20 || c.LinkDelay != 1 {
+		t.Error("defaults do not match Table 2")
+	}
+	p := c.PaperFidelity()
+	if p.Warmup != 10000 || p.Measure != 400000 {
+		t.Error("paper fidelity sample sizes wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := smoke()
+	c.Dims = nil
+	if _, err := Run(c); err == nil {
+		t.Error("nil dims accepted")
+	}
+	c = smoke()
+	c.Load = -1
+	if _, err := Run(c); err == nil {
+		t.Error("negative load accepted")
+	}
+	c = smoke()
+	c.Table = table.KindInterval
+	c.Algorithm = AlgDuato
+	if _, err := Run(c); err == nil {
+		t.Error("interval+adaptive accepted")
+	}
+	c = smoke()
+	c.Table = table.KindMetaBlock
+	c.Dims = []int{4, 4, 4}
+	if _, err := Run(c); err == nil {
+		t.Error("meta table on 3-D accepted")
+	}
+}
+
+func TestAlgParseRoundTrip(t *testing.T) {
+	for _, a := range Algs {
+		got, err := ParseAlg(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v failed", a)
+		}
+	}
+	if _, err := ParseAlg("nope"); err == nil {
+		t.Error("expected error")
+	}
+	if !AlgXY.Deterministic() || AlgDuato.Deterministic() {
+		t.Error("Deterministic() wrong")
+	}
+}
+
+// Every (algorithm, table, selector) combination the paper exercises must
+// run without panic on a small mesh.
+func TestMatrixOfConfigurations(t *testing.T) {
+	algs := []Alg{AlgXY, AlgDuato, AlgNorthLast}
+	tables := []table.Kind{table.KindFull, table.KindES, table.KindMetaRow, table.KindMetaBlock}
+	sels := []selection.Kind{selection.StaticXY, selection.MinMux, selection.LFU, selection.LRU, selection.MaxCredit}
+	for _, a := range algs {
+		for _, tk := range tables {
+			for _, sk := range sels {
+				c := smoke()
+				c.Algorithm = a
+				c.Table = tk
+				c.Selection = sk
+				c.Load = 0.15
+				c.Warmup, c.Measure = 50, 500
+				res, err := Run(c)
+				if err != nil {
+					t.Fatalf("%v/%v/%v: %v", a, tk, sk, err)
+				}
+				if res.Delivered == 0 {
+					t.Fatalf("%v/%v/%v: nothing delivered", a, tk, sk)
+				}
+			}
+		}
+	}
+}
+
+// The four paper patterns all run on the default (look-ahead adaptive)
+// router.
+func TestPaperPatterns(t *testing.T) {
+	for _, p := range []traffic.Kind{traffic.Uniform, traffic.Transpose, traffic.BitReversal, traffic.Shuffle} {
+		c := smoke()
+		c.Pattern = p
+		c.Load = 0.1
+		c.Warmup, c.Measure = 100, 1000
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Saturated {
+			t.Errorf("%v: saturated at load 0.1", p)
+		}
+	}
+}
+
+// 3-D mesh and torus configurations exercise the ES generalizations.
+func Test3DAndTorus(t *testing.T) {
+	c := smoke()
+	c.Dims = []int{4, 4, 4}
+	c.Pattern = traffic.Uniform
+	c.Warmup, c.Measure = 100, 1000
+	if _, err := Run(c); err != nil {
+		t.Fatalf("3-D: %v", err)
+	}
+	c = smoke()
+	c.Torus = true
+	c.EscapeVCs = 2
+	c.Table = table.KindFull
+	c.Warmup, c.Measure = 100, 1000
+	if _, err := Run(c); err != nil {
+		t.Fatalf("torus: %v", err)
+	}
+}
+
+// Virtual cut-through switching runs end to end and tracks wormhole
+// closely at low load (both are limited by the pipeline, not blocking).
+func TestCutThrough(t *testing.T) {
+	c := smoke()
+	c.Load = 0.2
+	c.Warmup, c.Measure = 200, 2000
+	worm, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CutThrough = true
+	vct, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vct.Saturated {
+		t.Fatalf("VCT saturated at low load: %s", vct.SatReason)
+	}
+	ratio := vct.AvgLatency / worm.AvgLatency
+	if ratio < 0.95 || ratio > 1.3 {
+		t.Errorf("VCT/wormhole latency ratio %.2f implausible", ratio)
+	}
+}
+
+func TestCutThroughValidation(t *testing.T) {
+	c := smoke()
+	c.CutThrough = true
+	c.MsgLen = 40 // > BufDepth 20
+	if _, err := Run(c); err == nil {
+		t.Error("oversize cut-through message accepted")
+	}
+}
+
+func TestPercentilesPopulated(t *testing.T) {
+	c := smoke()
+	c.Load = 0.3
+	c.Warmup, c.Measure = 200, 3000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50 > 0 && res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Errorf("percentile ordering broken: %v %v %v", res.P50, res.P95, res.P99)
+	}
+	// The median should bracket the mean within the bucket resolution
+	// for this mild load.
+	if res.P50 < res.AvgLatency*0.5 || res.P50 > res.AvgLatency*1.5 {
+		t.Errorf("median %v implausible vs mean %v", res.P50, res.AvgLatency)
+	}
+}

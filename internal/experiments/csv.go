@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lapses/internal/core"
+)
+
+// CSV writers for each experiment, for external plotting. Saturated points
+// carry an empty latency cell and saturated=true so plotting scripts can
+// clip the series the way the paper does ("results are only presented for
+// loads leading up to network saturation").
+
+func latCell(r core.Result) string {
+	if r.Saturated {
+		return ""
+	}
+	return strconv.FormatFloat(r.AvgLatency, 'f', 3, 64)
+}
+
+func satCell(r core.Result) string { return strconv.FormatBool(r.Saturated) }
+
+// Fig5CSV writes one row per (pattern, load, architecture).
+func Fig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pattern", "load", "architecture", "avg_latency", "saturated", "throughput"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, a := range []struct {
+			name string
+			res  core.Result
+		}{
+			{"nola-det", r.NoLADet}, {"nola-adapt", r.NoLAAdapt}, {"la-det", r.LADet}, {"la-adapt", r.LAAdapt},
+		} {
+			rec := []string{
+				r.Pattern.String(),
+				strconv.FormatFloat(r.Load, 'f', 2, 64),
+				a.name,
+				latCell(a.res),
+				satCell(a.res),
+				strconv.FormatFloat(a.res.Throughput, 'f', 5, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table3CSV writes one row per message length.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"msg_len", "lookahead_latency", "no_lookahead_latency", "improvement_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.MsgLen),
+			latCell(r.LookAhead),
+			latCell(r.NoLookAhd),
+			strconv.FormatFloat(r.Improvement(), 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig6CSV writes one row per (pattern, load, heuristic).
+func Fig6CSV(w io.Writer, rows []Fig6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pattern", "load", "psh", "avg_latency", "saturated", "throughput"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, psh := range Fig6PSHs {
+			res := r.ByPSH[psh]
+			rec := []string{
+				r.Pattern.String(),
+				strconv.FormatFloat(r.Load, 'f', 2, 64),
+				psh.String(),
+				latCell(res),
+				satCell(res),
+				strconv.FormatFloat(res.Throughput, 'f', 5, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table4CSV writes one row per (pattern, load, scheme).
+func Table4CSV(w io.Writer, rows []Table4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pattern", "load", "scheme", "avg_latency", "saturated"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, s := range []struct {
+			name string
+			res  core.Result
+		}{
+			{"meta-adaptive", r.MetaAdaptive}, {"meta-det", r.MetaDet}, {"full", r.Full}, {"es", r.ES},
+		} {
+			rec := []string{
+				r.Pattern.String(),
+				strconv.FormatFloat(r.Load, 'f', 2, 64),
+				s.name,
+				latCell(s.res),
+				satCell(s.res),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVByName runs an experiment and writes its CSV form; table5 and
+// the reference tables have no CSV representation.
+func WriteCSVByName(w io.Writer, name string, f Fidelity, seed int64) error {
+	switch name {
+	case "fig5":
+		return Fig5CSV(w, Fig5(f, seed))
+	case "table3":
+		return Table3CSV(w, Table3(f, seed))
+	case "fig6":
+		return Fig6CSV(w, Fig6(f, seed))
+	case "table4":
+		return Table4CSV(w, Table4(f, seed))
+	}
+	return fmt.Errorf("experiments: no CSV form for %q", name)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+func TestTable3CSV(t *testing.T) {
+	rows := []Table3Row{
+		{MsgLen: 5, LookAhead: core.Result{AvgLatency: 50}, NoLookAhd: core.Result{AvgLatency: 60}},
+		{MsgLen: 20, LookAhead: core.Result{AvgLatency: 75}, NoLookAhd: core.Result{Saturated: true}},
+	}
+	var buf bytes.Buffer
+	if err := Table3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][0] != "5" || recs[1][1] != "50.000" {
+		t.Errorf("row 1 = %v", recs[1])
+	}
+	// Saturated cell must be empty.
+	if recs[2][2] != "" {
+		t.Errorf("saturated latency cell = %q", recs[2][2])
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	// Synthetic row: no need to run the sweep to test serialization.
+	row := Fig6Row{Pattern: traffic.Uniform, Load: 0.5, ByPSH: map[selection.Kind]core.Result{}}
+	for i, psh := range Fig6PSHs {
+		row.ByPSH[psh] = core.Result{AvgLatency: float64(100 + i), Throughput: 0.1}
+	}
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, []Fig6Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+len(Fig6PSHs) {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][2] != "static-xy" || recs[1][3] != "100.000" {
+		t.Errorf("row = %v", recs[1])
+	}
+}
+
+func TestFig5AndTable4CSV(t *testing.T) {
+	f5 := []Fig5Row{{
+		Pattern: traffic.Transpose, Load: 0.3,
+		NoLADet:   core.Result{Saturated: true},
+		NoLAAdapt: core.Result{AvgLatency: 120},
+		LADet:     core.Result{Saturated: true},
+		LAAdapt:   core.Result{AvgLatency: 100},
+	}}
+	var buf bytes.Buffer
+	if err := Fig5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 5 {
+		t.Errorf("fig5 lines = %d want 5", got)
+	}
+	t4 := []Table4Row{{
+		Pattern: traffic.Uniform, Load: 0.2,
+		MetaAdaptive: core.Result{AvgLatency: 140},
+		MetaDet:      core.Result{AvgLatency: 90},
+		Full:         core.Result{AvgLatency: 85},
+		ES:           core.Result{AvgLatency: 85},
+	}}
+	buf.Reset()
+	if err := Table4CSV(&buf, t4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "meta-adaptive") {
+		t.Error("table4 csv missing scheme column")
+	}
+}
+
+func TestWriteCSVByNameErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVByName(&buf, "table5", Quick, 1); err == nil {
+		t.Error("table5 should have no CSV form")
+	}
+	if err := WriteCSVByName(&buf, "table3", Quick, 1); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(buf.String(), "msg_len") {
+		t.Error("missing CSV header")
+	}
+}

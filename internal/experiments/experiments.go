@@ -1,0 +1,409 @@
+// Package experiments regenerates every table and figure of the LAPSES
+// paper's evaluation: Fig. 5 (look-ahead and adaptivity vs load), Table 3
+// (message-length sensitivity of look-ahead), Fig. 6 (path-selection
+// heuristics), Table 4 (table-storage schemes) and Table 5 (storage
+// summary). Each experiment returns structured rows and renders itself in
+// the paper's format, so paper-vs-measured comparisons in EXPERIMENTS.md
+// are mechanical.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/traffic"
+)
+
+// Fidelity selects the sample sizes for all experiment runs.
+type Fidelity int
+
+const (
+	// Quick uses small samples for smoke runs (seconds per point).
+	Quick Fidelity = iota
+	// Default balances precision and run time (the committed numbers).
+	Default
+	// Paper uses the paper's 10000 warm-up + 400000 measured messages.
+	Paper
+)
+
+// ParseFidelity converts a name to a Fidelity.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "default":
+		return Default, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown fidelity %q", s)
+}
+
+func (f Fidelity) apply(c core.Config) core.Config {
+	switch f {
+	case Quick:
+		c.Warmup, c.Measure = 300, 4000
+	case Default:
+		c.Warmup, c.Measure = 2000, 30000
+	case Paper:
+		c = c.PaperFidelity()
+	}
+	return c
+}
+
+// base returns the shared 16x16 configuration (Table 2) used by all
+// experiments.
+func base(f Fidelity) core.Config {
+	c := core.DefaultConfig()
+	c.Selection = selection.StaticXY
+	c = f.apply(c)
+	return c
+}
+
+// mustRun runs a configuration, panicking on configuration errors (the
+// harness builds only valid configurations).
+func mustRun(c core.Config) core.Result {
+	r, err := core.Run(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// patternLoads returns the load sweep the paper plots per pattern: dense
+// points up to each pattern's saturation region.
+func patternLoads(p traffic.Kind) []float64 {
+	switch p {
+	case traffic.Uniform:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	case traffic.Transpose:
+		return []float64{0.1, 0.2, 0.3, 0.4}
+	case traffic.BitReversal:
+		return []float64{0.1, 0.2, 0.3, 0.4}
+	case traffic.Shuffle:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	return []float64{0.1, 0.2, 0.3}
+}
+
+// PaperPatterns are the four synthetic patterns of the study.
+var PaperPatterns = []traffic.Kind{traffic.Uniform, traffic.Transpose, traffic.BitReversal, traffic.Shuffle}
+
+// Fig5Row is one (pattern, load) point of Fig. 5: the absolute latency of
+// the four router architectures.
+type Fig5Row struct {
+	Pattern traffic.Kind
+	Load    float64
+	// Latencies by architecture; NaN-free: saturated points carry the
+	// Saturated flags instead.
+	NoLADet, NoLAAdapt, LADet, LAAdapt core.Result
+}
+
+// Fig5 runs the four-architecture comparison (deterministic/adaptive with
+// and without look-ahead, static-XY selection) over the paper's load
+// sweeps for all four traffic patterns.
+func Fig5(f Fidelity, seed int64) []Fig5Row {
+	var rows []Fig5Row
+	for _, pat := range PaperPatterns {
+		for _, load := range patternLoads(pat) {
+			row := Fig5Row{Pattern: pat, Load: load}
+			for i, arch := range []struct {
+				la  bool
+				alg core.Alg
+			}{
+				{false, core.AlgXY}, {false, core.AlgDuato}, {true, core.AlgXY}, {true, core.AlgDuato},
+			} {
+				c := base(f)
+				c.LookAhead = arch.la
+				c.Algorithm = arch.alg
+				c.Pattern = pat
+				c.Load = load
+				c.Seed = seed
+				res := mustRun(c)
+				switch i {
+				case 0:
+					row.NoLADet = res
+				case 1:
+					row.NoLAAdapt = res
+				case 2:
+					row.LADet = res
+				case 3:
+					row.LAAdapt = res
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// pctOver returns the percentage latency increase of r over baseline, the
+// quantity Fig. 5's bars plot.
+func pctOver(r, baseline core.Result) (float64, bool) {
+	if r.Saturated || baseline.Saturated || baseline.AvgLatency == 0 {
+		return 0, false
+	}
+	return 100 * (r.AvgLatency - baseline.AvgLatency) / baseline.AvgLatency, true
+}
+
+// RenderFig5 prints the Fig. 5 panels: percentage increase over LA-ADAPT
+// per architecture, plus the absolute LA-ADAPT latency table printed under
+// the figure in the paper.
+func RenderFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5: % latency increase over LA,ADAPT (positive = slower than LA-adaptive)")
+	for _, pat := range PaperPatterns {
+		fmt.Fprintf(w, "\n[%s traffic]\n", pat)
+		fmt.Fprintf(w, "%-6s %12s %12s %12s %14s\n", "load", "NOLA,DET", "NOLA,ADAPT", "LA,DET", "LA,ADAPT(abs)")
+		for _, r := range rows {
+			if r.Pattern != pat {
+				continue
+			}
+			cell := func(res core.Result) string {
+				p, ok := pctOver(res, r.LAAdapt)
+				if !ok {
+					return "Sat."
+				}
+				return fmt.Sprintf("%+.1f%%", p)
+			}
+			fmt.Fprintf(w, "%-6.1f %12s %12s %12s %14s\n",
+				r.Load, cell(r.NoLADet), cell(r.NoLAAdapt), cell(r.LADet), r.LAAdapt.LatencyString())
+		}
+	}
+}
+
+// Table3Row is one message-length point of Table 3.
+type Table3Row struct {
+	MsgLen               int
+	LookAhead, NoLookAhd core.Result
+}
+
+// Improvement returns the paper's "% Improv." column.
+func (r Table3Row) Improvement() float64 {
+	if r.NoLookAhd.AvgLatency == 0 {
+		return 0
+	}
+	return 100 * (r.NoLookAhd.AvgLatency - r.LookAhead.AvgLatency) / r.NoLookAhd.AvgLatency
+}
+
+// Table3 measures the look-ahead benefit versus message length (uniform
+// traffic, normalized load 0.2, adaptive routers).
+func Table3(f Fidelity, seed int64) []Table3Row {
+	var rows []Table3Row
+	for _, length := range []int{5, 10, 20, 50} {
+		mk := func(la bool) core.Result {
+			c := base(f)
+			c.LookAhead = la
+			c.Pattern = traffic.Uniform
+			c.Load = 0.2
+			c.MsgLen = length
+			c.Seed = seed
+			return mustRun(c)
+		}
+		rows = append(rows, Table3Row{MsgLen: length, LookAhead: mk(true), NoLookAhd: mk(false)})
+	}
+	return rows
+}
+
+// RenderTable3 prints Table 3 in the paper's format.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: Impact of message length (uniform traffic, load 0.2)")
+	fmt.Fprintf(w, "%-10s %12s %14s %10s\n", "Mesg. Len", "Look Ahead", "No Look Ahead", "% Improv.")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %12s %14s %10.1f\n",
+			r.MsgLen, r.LookAhead.LatencyString(), r.NoLookAhd.LatencyString(), r.Improvement())
+	}
+}
+
+// Fig6Row is one (pattern, load) point of Fig. 6: absolute latency per
+// path-selection heuristic on the LA adaptive router.
+type Fig6Row struct {
+	Pattern traffic.Kind
+	Load    float64
+	ByPSH   map[selection.Kind]core.Result
+}
+
+// Fig6PSHs are the five policies Fig. 6 plots.
+var Fig6PSHs = []selection.Kind{selection.StaticXY, selection.MinMux, selection.LFU, selection.LRU, selection.MaxCredit}
+
+// Fig6 sweeps the path-selection heuristics over the four patterns.
+func Fig6(f Fidelity, seed int64) []Fig6Row {
+	var rows []Fig6Row
+	for _, pat := range PaperPatterns {
+		for _, load := range patternLoads(pat) {
+			row := Fig6Row{Pattern: pat, Load: load, ByPSH: map[selection.Kind]core.Result{}}
+			for _, psh := range Fig6PSHs {
+				c := base(f)
+				c.Pattern = pat
+				c.Load = load
+				c.Selection = psh
+				c.Seed = seed
+				row.ByPSH[psh] = mustRun(c)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderFig6 prints the Fig. 6 series.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: average latency by path-selection heuristic (LA adaptive router)")
+	for _, pat := range PaperPatterns {
+		fmt.Fprintf(w, "\n[%s traffic]\n", pat)
+		fmt.Fprintf(w, "%-6s", "load")
+		for _, psh := range Fig6PSHs {
+			fmt.Fprintf(w, " %11s", psh)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			if r.Pattern != pat {
+				continue
+			}
+			fmt.Fprintf(w, "%-6.1f", r.Load)
+			for _, psh := range Fig6PSHs {
+				fmt.Fprintf(w, " %11s", r.ByPSH[psh].LatencyString())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Table4Row is one (pattern, load) point of Table 4.
+type Table4Row struct {
+	Pattern                     traffic.Kind
+	Load                        float64
+	MetaAdaptive, MetaDet, Full core.Result
+	ES                          core.Result
+}
+
+// Table4Patterns are the patterns Table 4 reports.
+var Table4Patterns = []traffic.Kind{traffic.Uniform, traffic.Transpose, traffic.BitReversal}
+
+// table4Loads mirrors the loads the paper lists per pattern.
+func table4Loads(p traffic.Kind) []float64 {
+	switch p {
+	case traffic.Uniform:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	case traffic.Transpose:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	default: // bit-reversal
+		return []float64{0.1, 0.2, 0.3, 0.4}
+	}
+}
+
+// Table4 compares the table-storage schemes: meta-table with the maximal-
+// flexibility (block) mapping, meta-table with the minimal (row) mapping,
+// full-table and economical storage, all on the LA adaptive router with
+// static-XY selection.
+func Table4(f Fidelity, seed int64) []Table4Row {
+	var rows []Table4Row
+	for _, pat := range Table4Patterns {
+		for _, load := range table4Loads(pat) {
+			row := Table4Row{Pattern: pat, Load: load}
+			mk := func(tk table.Kind, alg core.Alg) core.Result {
+				c := base(f)
+				c.Pattern = pat
+				c.Load = load
+				c.Table = tk
+				c.Algorithm = alg
+				c.Seed = seed
+				return mustRun(c)
+			}
+			row.MetaAdaptive = mk(table.KindMetaBlock, core.AlgDuato)
+			row.MetaDet = mk(table.KindMetaRow, core.AlgDuato)
+			row.Full = mk(table.KindFull, core.AlgDuato)
+			row.ES = mk(table.KindES, core.AlgDuato)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderTable4 prints Table 4 in the paper's format, with both the full
+// table and ES columns (the paper prints them as one since they are
+// identical; we print both to demonstrate it).
+func RenderTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table 4: Performance comparison of table-storage schemes (Sat. = saturated)")
+	fmt.Fprintf(w, "%-13s %-5s %12s %12s %12s %12s\n", "Traffic", "Load", "Meta-Adp", "Meta-Det", "Full-Tbl", "Econ-Stor")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %-5.1f %12s %12s %12s %12s\n",
+			r.Pattern, r.Load,
+			r.MetaAdaptive.LatencyString(), r.MetaDet.LatencyString(),
+			r.Full.LatencyString(), r.ES.LatencyString())
+	}
+}
+
+// Table5Row summarizes one storage scheme (Table 5).
+type Table5Row struct {
+	Scheme      string
+	Entries     int
+	Scalability string
+	Adaptivity  string
+	Topology    string
+}
+
+// Table5 computes the storage comparison for an n-node network of the
+// given dimensionality, using the entry counts of the actual table
+// implementations.
+func Table5(nodes, ndims int) []Table5Row {
+	clusters := 0
+	// Two-level meta split: sqrt-ish cluster count, as in the paper's
+	// m*2^(N/m) expression with m = 2.
+	for c := 1; c*c <= nodes; c++ {
+		if nodes%c == 0 {
+			clusters = c
+		}
+	}
+	return []Table5Row{
+		{"full-table", nodes, "poor", "yes", "arbitrary"},
+		{"meta-table (2-level)", clusters + nodes/clusters, "better", "yes (limited)", "fairly arbitrary"},
+		{"interval", 1 + 2*ndims, "great", "not direct", "arbitrary"},
+		{"economical storage", table.ESEntryCount(ndims), "great", "yes", "meshes, tori"},
+	}
+}
+
+// RenderTable5 prints the storage summary.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	fmt.Fprintln(w, "Table 5: table-storage schemes for the configured network")
+	fmt.Fprintf(w, "%-22s %10s %-12s %-14s %-16s\n", "Scheme", "Entries", "Scalability", "Adaptivity", "Topology")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %10d %-12s %-14s %-16s\n", r.Scheme, r.Entries, r.Scalability, r.Adaptivity, r.Topology)
+	}
+}
+
+// Names lists the runnable experiment identifiers.
+func Names() []string {
+	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5"}
+}
+
+// RunByName executes one experiment by identifier and renders it to w.
+func RunByName(w io.Writer, name string, f Fidelity, seed int64) error {
+	switch strings.ToLower(name) {
+	case "table1":
+		RenderTable1(w, Table1())
+	case "table2":
+		RenderTable2(w, core.DefaultConfig())
+	case "fig5":
+		RenderFig5(w, Fig5(f, seed))
+	case "table3":
+		RenderTable3(w, Table3(f, seed))
+	case "fig6":
+		RenderFig6(w, Fig6(f, seed))
+	case "table4":
+		RenderTable4(w, Table4(f, seed))
+	case "table5":
+		RenderTable5(w, Table5(256, 2))
+		fmt.Fprintln(w)
+		RenderTable5(w, Table5(2048, 3))
+	default:
+		names := Names()
+		sort.Strings(names)
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return nil
+}

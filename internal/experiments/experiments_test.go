@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+// The experiment harness is exercised at tiny fidelity on the real 16x16
+// network; the committed result shapes are validated by the claims tests
+// in claims_test.go.
+
+func TestTable3Shape(t *testing.T) {
+	rows := Table3(Quick, 1)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The look-ahead benefit must decrease with message length
+	// (Table 3's trend: 18% at 5 flits down to 6.5% at 50).
+	if !(rows[0].Improvement() > rows[3].Improvement()) {
+		t.Errorf("LA improvement should shrink with length: %v vs %v",
+			rows[0].Improvement(), rows[3].Improvement())
+	}
+	for _, r := range rows {
+		if r.Improvement() < 0 {
+			t.Errorf("len %d: negative improvement %.1f", r.MsgLen, r.Improvement())
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Mesg. Len") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable5Counts(t *testing.T) {
+	rows := Table5(256, 2)
+	byScheme := map[string]int{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r.Entries
+	}
+	if byScheme["full-table"] != 256 {
+		t.Errorf("full = %d", byScheme["full-table"])
+	}
+	if byScheme["economical storage"] != 9 {
+		t.Errorf("es = %d", byScheme["economical storage"])
+	}
+	if byScheme["interval"] != 5 {
+		t.Errorf("interval = %d", byScheme["interval"])
+	}
+	if byScheme["meta-table (2-level)"] != 32 {
+		t.Errorf("meta = %d", byScheme["meta-table (2-level)"])
+	}
+	rows3 := Table5(2048, 3)
+	for _, r := range rows3 {
+		if r.Scheme == "economical storage" && r.Entries != 27 {
+			t.Errorf("3-D es = %d", r.Entries)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable5(&buf, rows)
+	if !strings.Contains(buf.String(), "economical storage") {
+		t.Error("render missing scheme")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunByName(&buf, "table5", Quick, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+	if err := RunByName(&buf, "nonsense", Quick, 1); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	for _, s := range []string{"quick", "default", "paper"} {
+		if _, err := ParseFidelity(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := ParseFidelity("x"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPctOver(t *testing.T) {
+	a := core.Result{AvgLatency: 110}
+	b := core.Result{AvgLatency: 100}
+	p, ok := pctOver(a, b)
+	if !ok || p != 10 {
+		t.Errorf("pctOver = %v,%v want 10,true", p, ok)
+	}
+	if _, ok := pctOver(a, core.Result{Saturated: true}); ok {
+		t.Error("saturated baseline must not produce a percentage")
+	}
+}
+
+// Minimal one-point Fig6 run to exercise the sweep machinery without the
+// full grid (the grid runs in claims_test.go and the benchmarks).
+func TestFig6SinglePoint(t *testing.T) {
+	row := Fig6Row{Pattern: traffic.Transpose, Load: 0.2, ByPSH: nil}
+	_ = row
+	c := base(Quick)
+	c.Pattern = traffic.Transpose
+	c.Load = 0.2
+	c.Selection = selection.LRU
+	res := mustRun(c)
+	if res.Saturated {
+		t.Fatalf("transpose 0.2 saturated: %s", res.SatReason)
+	}
+	if res.AvgLatency < 50 || res.AvgLatency > 300 {
+		t.Errorf("implausible latency %v", res.AvgLatency)
+	}
+}

@@ -1,0 +1,152 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lapses/internal/topology"
+)
+
+func TestTypeFor(t *testing.T) {
+	cases := []struct {
+		seq, length int
+		want        FlitType
+	}{
+		{0, 1, HeadTail},
+		{0, 20, Head},
+		{1, 20, Body},
+		{18, 20, Body},
+		{19, 20, Tail},
+		{0, 2, Head},
+		{1, 2, Tail},
+	}
+	for _, c := range cases {
+		if got := TypeFor(c.seq, c.length); got != c.want {
+			t.Errorf("TypeFor(%d,%d) = %v want %v", c.seq, c.length, got, c.want)
+		}
+	}
+}
+
+func TestFlitTypePredicates(t *testing.T) {
+	if !Head.IsHead() || !HeadTail.IsHead() || Body.IsHead() || Tail.IsHead() {
+		t.Error("IsHead wrong")
+	}
+	if !Tail.IsTail() || !HeadTail.IsTail() || Body.IsTail() || Head.IsTail() {
+		t.Error("IsTail wrong")
+	}
+}
+
+func TestVCMask(t *testing.T) {
+	m := MaskAll(4)
+	if m != 0b1111 {
+		t.Fatalf("MaskAll(4) = %b", m)
+	}
+	if m.Count() != 4 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if !m.Has(0) || !m.Has(3) || m.Has(4) {
+		t.Error("Has wrong")
+	}
+	m2 := MaskOf(1, 3)
+	if m2 != 0b1010 {
+		t.Fatalf("MaskOf(1,3) = %b", m2)
+	}
+	if m2.Lowest() != 1 {
+		t.Errorf("Lowest = %d", m2.Lowest())
+	}
+}
+
+func TestVCMaskLowestPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	VCMask(0).Lowest()
+}
+
+func TestRouteSet(t *testing.T) {
+	var r RouteSet
+	if !r.Empty() || r.Len() != 0 {
+		t.Fatal("zero RouteSet not empty")
+	}
+	a := Candidate{Port: 1, Adaptive: 0b1110, Escape: 0b0001}
+	b := Candidate{Port: 3, Adaptive: 0b1110}
+	r.Add(a)
+	r.Add(b)
+	if r.Len() != 2 || r.At(0) != a || r.At(1) != b {
+		t.Fatalf("RouteSet contents wrong: %v", r)
+	}
+	ports := r.Ports()
+	if len(ports) != 2 || ports[0] != 1 || ports[1] != 3 {
+		t.Errorf("Ports = %v", ports)
+	}
+	var r2 RouteSet
+	r2.Add(a)
+	r2.Add(b)
+	if !r.Equal(r2) {
+		t.Error("Equal sets reported unequal")
+	}
+	r2 = RouteSet{}
+	r2.Add(b)
+	r2.Add(a)
+	if r.Equal(r2) {
+		t.Error("order-swapped sets reported equal")
+	}
+}
+
+func TestRouteSetOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var r RouteSet
+	for i := 0; i <= MaxCandidates; i++ {
+		r.Add(Candidate{Port: topology.Port(i)})
+	}
+}
+
+func TestCandidateAll(t *testing.T) {
+	c := Candidate{Port: 1, Adaptive: 0b1100, Escape: 0b0001}
+	if c.All() != 0b1101 {
+		t.Errorf("All = %b", c.All())
+	}
+}
+
+func TestRouteSetString(t *testing.T) {
+	var r RouteSet
+	r.Add(Candidate{Port: 1, Adaptive: 0b10})
+	if s := r.String(); s == "" || s == "{}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: MaskOf produces a mask whose Count equals the number of
+// distinct VCs and which Has exactly those VCs.
+func TestQuickMaskOf(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[VCID]bool{}
+		var vcs []VCID
+		for _, r := range raw {
+			v := VCID(r % 16)
+			if !seen[v] {
+				seen[v] = true
+				vcs = append(vcs, v)
+			}
+		}
+		m := MaskOf(vcs...)
+		if m.Count() != len(vcs) {
+			return false
+		}
+		for _, v := range vcs {
+			if !m.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

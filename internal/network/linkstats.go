@@ -1,0 +1,86 @@
+package network
+
+import (
+	"sort"
+
+	"lapses/internal/topology"
+)
+
+// LinkStat reports the traffic carried by one unidirectional link (or, for
+// the local port, one ejection channel) since the simulation began.
+type LinkStat struct {
+	From topology.NodeID
+	Port topology.Port
+	// Flits is the cumulative count of flits sent through the port.
+	Flits uint64
+	// Utilization is Flits divided by elapsed cycles (1.0 = the link
+	// carried a flit every cycle).
+	Utilization float64
+}
+
+// LinkStats returns the utilization of every link and ejection channel,
+// ordered by node then port. The paper's explanation of the meta-table
+// result — "unbalanced congestion at cluster-boundary links" — is directly
+// observable in the spread of these values.
+func (n *Network) LinkStats() []LinkStat {
+	elapsed := float64(n.now)
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	var out []LinkStat
+	for id, r := range n.routers {
+		for p := 0; p < n.m.NumPorts(); p++ {
+			port := topology.Port(p)
+			if port != topology.PortLocal {
+				if _, ok := n.m.Neighbor(topology.NodeID(id), port); !ok {
+					continue
+				}
+			}
+			f := r.UseCount(port)
+			out = append(out, LinkStat{
+				From:        topology.NodeID(id),
+				Port:        port,
+				Flits:       f,
+				Utilization: float64(f) / elapsed,
+			})
+		}
+	}
+	return out
+}
+
+// LinkImbalance summarizes the spread of link utilization over the
+// network's inter-router links: the ratio of the hottest link's traffic to
+// the mean over loaded links. Uniformly balanced traffic gives values near
+// 1; boundary congestion drives it up.
+func (n *Network) LinkImbalance() float64 {
+	statsAll := n.LinkStats()
+	var loads []float64
+	total := 0.0
+	for _, s := range statsAll {
+		if s.Port == topology.PortLocal || s.Flits == 0 {
+			continue
+		}
+		loads = append(loads, float64(s.Flits))
+		total += float64(s.Flits)
+	}
+	if len(loads) == 0 {
+		return 0
+	}
+	sort.Float64s(loads)
+	mean := total / float64(len(loads))
+	return loads[len(loads)-1] / mean
+}
+
+// TotalLinkFlits sums flit traversals over inter-router links, used by
+// conservation tests: it must equal the sum over messages of hops x length
+// once the network has drained.
+func (n *Network) TotalLinkFlits() uint64 {
+	var total uint64
+	for _, s := range n.LinkStats() {
+		if s.Port == topology.PortLocal {
+			continue
+		}
+		total += s.Flits
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"lapses/internal/flow"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/topology"
+	"lapses/internal/traffic"
+)
+
+// scriptPattern replays a fixed list of (src, dst) messages: Dest pops the
+// next destination for its source. Used for finite-workload tests.
+type scriptPattern struct {
+	bysrc map[topology.NodeID][]topology.NodeID
+}
+
+func (s *scriptPattern) Name() string { return "script" }
+func (s *scriptPattern) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	q := s.bysrc[src]
+	if len(q) == 0 {
+		return src, false
+	}
+	d := q[0]
+	s.bysrc[src] = q[1:]
+	return d, true
+}
+
+// Flit conservation over links: after draining a finite workload, total
+// link flit-traversals must equal sum over messages of hops x length.
+func TestLinkFlitConservation(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	rng := rand.New(rand.NewSource(4))
+	script := &scriptPattern{bysrc: map[topology.NodeID][]topology.NodeID{}}
+	type rec struct{ src, dst topology.NodeID }
+	var msgs []rec
+	for i := 0; i < 150; i++ {
+		src := topology.NodeID(rng.Intn(m.N()))
+		dst := topology.NodeID(rng.Intn(m.N()))
+		if src == dst {
+			continue
+		}
+		script.bysrc[src] = append(script.bysrc[src], dst)
+		msgs = append(msgs, rec{src, dst})
+	}
+	cfg := testConfig(m, true, table.KindES, selection.LRU, script, 0.02, 9)
+	cfg.MsgLen = 6
+	n := New(cfg)
+	var delivered []*flow.Message
+	n.onArrive = func(msg *flow.Message, now int64) { delivered = append(delivered, msg) }
+	for i := 0; i < 30000 && len(delivered) < len(msgs); i++ {
+		n.Step()
+	}
+	if len(delivered) != len(msgs) {
+		t.Fatalf("delivered %d of %d", len(delivered), len(msgs))
+	}
+	// Drain any credits in flight, then check conservation.
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	if n.Occupancy() != 0 {
+		t.Fatalf("network not drained: %d flits", n.Occupancy())
+	}
+	var want uint64
+	for _, msg := range delivered {
+		want += uint64(msg.Hops) * uint64(msg.Length)
+		// And each message's hops must be minimal (adaptive minimal
+		// routing never misroutes).
+		if msg.Hops != m.Distance(msg.Src, msg.Dst) {
+			t.Errorf("msg %d->%d took %d hops, distance %d", msg.Src, msg.Dst, msg.Hops, m.Distance(msg.Src, msg.Dst))
+		}
+	}
+	if got := n.TotalLinkFlits(); got != want {
+		t.Errorf("link flits %d want %d", got, want)
+	}
+}
+
+// The ejection channels must carry exactly length flits per delivered
+// message.
+func TestEjectionAccounting(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	pat := &fixedPattern{src: 0, dst: 15}
+	cfg := testConfig(m, true, table.KindES, selection.StaticXY, pat, 0.005, 2)
+	cfg.MsgLen = 4
+	n := New(cfg)
+	for i := 0; i < 12000; i++ {
+		n.Step()
+	}
+	var eject uint64
+	for _, s := range n.LinkStats() {
+		if s.Port == topology.PortLocal && s.From == 15 {
+			eject = s.Flits
+		}
+	}
+	inFlightFlits := uint64(n.Occupancy())
+	want := uint64(n.Delivered()) * 4
+	if eject != want {
+		t.Errorf("ejection flits %d want %d (in flight %d)", eject, want, inFlightFlits)
+	}
+}
+
+// The paper's explanation for Table 4: the meta-block mapping concentrates
+// transpose traffic on cluster-boundary links, so its utilization
+// imbalance must clearly exceed full-table routing's at equal load.
+func TestMetaBlockBoundaryCongestion(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	imbalance := func(tk table.Kind) float64 {
+		cfg := testConfig(m, true, tk, selection.StaticXY, traffic.New(traffic.Transpose, m), traffic.MessageRate(m, 0.2, 20), 17)
+		n := New(cfg)
+		n.Run(RunParams{WarmupMessages: 200, MeasureMessages: 4000})
+		return n.LinkImbalance()
+	}
+	full := imbalance(table.KindFull)
+	meta := imbalance(table.KindMetaBlock)
+	if meta <= full*1.1 {
+		t.Errorf("meta-block imbalance %.2f should clearly exceed full-table %.2f", meta, full)
+	}
+}
+
+func TestLinkStatsShape(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cfg := testConfig(m, true, table.KindES, selection.StaticXY, traffic.New(traffic.Uniform, m), 0.01, 1)
+	n := New(cfg)
+	for i := 0; i < 3000; i++ {
+		n.Step()
+	}
+	ls := n.LinkStats()
+	// 4x4 mesh: 2*2*(4*3) = 48 directional links + 16 ejection channels.
+	if len(ls) != 64 {
+		t.Fatalf("stats entries = %d want 64", len(ls))
+	}
+	for _, s := range ls {
+		if s.Utilization < 0 || s.Utilization > 1.0001 {
+			t.Errorf("utilization out of range: %+v", s)
+		}
+	}
+	if n.LinkImbalance() < 1 {
+		t.Errorf("imbalance below 1: %v", n.LinkImbalance())
+	}
+}

@@ -1,0 +1,366 @@
+// Package network assembles PROUD/LA-PROUD routers into a complete direct
+// network: bidirectional links with configurable delay, credit return
+// channels, per-node network interfaces with Poisson traffic generation,
+// and the cycle loop with the paper's measurement methodology (warm-up
+// messages excluded, statistics over a fixed count of measured messages,
+// saturation guards).
+package network
+
+import (
+	"fmt"
+
+	"lapses/internal/flow"
+	"lapses/internal/router"
+	"lapses/internal/routing"
+	"lapses/internal/selection"
+	"lapses/internal/stats"
+	"lapses/internal/table"
+	"lapses/internal/topology"
+	"lapses/internal/traffic"
+)
+
+// Config assembles one network.
+type Config struct {
+	Mesh *topology.Mesh
+	// Router is the per-router microarchitecture.
+	Router router.Config
+	// LinkDelay is the wire latency between routers, cycles (Table 2: 1).
+	LinkDelay int
+	// Algorithm is the routing policy programmed into every table.
+	Algorithm routing.Algorithm
+	// Class is the VC partition used by the algorithm.
+	Class routing.Class
+	// Table selects the table organization.
+	Table table.Kind
+	// Selection is the path-selection heuristic.
+	Selection selection.Kind
+	// Pattern drives destination choice.
+	Pattern traffic.Pattern
+	// Trace, when non-nil, replaces the Pattern/MsgRate open-loop
+	// generator with trace-driven injection (application workloads).
+	Trace *traffic.Trace
+	// MsgRate is the per-node message generation rate (messages/cycle).
+	MsgRate float64
+	// MsgLen is the message length in flits.
+	MsgLen int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Mesh == nil {
+		return fmt.Errorf("network: nil mesh")
+	}
+	if err := c.Router.Validate(); err != nil {
+		return err
+	}
+	if err := c.Class.Validate(); err != nil {
+		return err
+	}
+	if c.LinkDelay < 1 {
+		return fmt.Errorf("network: LinkDelay %d < 1", c.LinkDelay)
+	}
+	if c.Algorithm == nil {
+		return fmt.Errorf("network: algorithm required")
+	}
+	if c.Pattern == nil && c.Trace == nil {
+		return fmt.Errorf("network: a pattern or a trace is required")
+	}
+	if c.MsgLen < 1 {
+		return fmt.Errorf("network: MsgLen %d < 1", c.MsgLen)
+	}
+	if c.MsgRate < 0 {
+		return fmt.Errorf("network: negative MsgRate")
+	}
+	return nil
+}
+
+// event kinds carried by the timing wheel.
+type event struct {
+	credit bool
+	toNI   bool
+	node   topology.NodeID
+	port   topology.Port
+	vc     flow.VCID
+	fl     flow.Flit
+}
+
+// wheel is a fixed-horizon event calendar for link and credit traversal.
+type wheel struct {
+	slots [][]event
+}
+
+func newWheel(horizon int) *wheel {
+	return &wheel{slots: make([][]event, horizon)}
+}
+
+func (w *wheel) schedule(at int64, e event) {
+	i := int(at) % len(w.slots)
+	w.slots[i] = append(w.slots[i], e)
+}
+
+func (w *wheel) take(at int64) []event {
+	i := int(at) % len(w.slots)
+	evs := w.slots[i]
+	w.slots[i] = w.slots[i][:0]
+	return evs
+}
+
+// Network is a complete simulated interconnect.
+type Network struct {
+	cfg     Config
+	m       *topology.Mesh
+	routers []*router.Router
+	nis     []*ni
+	wheel   *wheel
+	now     int64
+
+	nextMsg   flow.MessageID
+	delivered int64 // total messages delivered
+	onArrive  func(msg *flow.Message, now int64)
+}
+
+// New builds and wires a network. It panics on invalid configuration,
+// which is always a programming error in the harness.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := cfg.Mesh
+	n := &Network{
+		cfg:     cfg,
+		m:       m,
+		routers: make([]*router.Router, m.N()),
+		nis:     make([]*ni, m.N()),
+		wheel:   newWheel(cfg.LinkDelay + 2),
+	}
+	for id := 0; id < m.N(); id++ {
+		node := topology.NodeID(id)
+		tbl := table.Build(cfg.Table, m, cfg.Algorithm, cfg.Class, node)
+		sel := selection.New(cfg.Selection, cfg.Seed+int64(id)*7919)
+		n.routers[id] = router.New(node, m, cfg.Router, tbl, sel)
+	}
+	for id := 0; id < m.N(); id++ {
+		node := topology.NodeID(id)
+		r := n.routers[id]
+		r.SetFabric(n.sendFunc(node), n.creditFunc(node), n.deliverFunc(node))
+		n.nis[id] = newNI(n, node, r)
+	}
+	return n
+}
+
+// sendFunc routes a flit leaving node through port onto the wire; it
+// arrives (is latched) at the neighbor after the output register plus the
+// link delay.
+func (n *Network) sendFunc(node topology.NodeID) router.SendFunc {
+	return func(from topology.NodeID, p topology.Port, v flow.VCID, fl flow.Flit, now int64) {
+		nb, ok := n.m.Neighbor(node, p)
+		if !ok {
+			panic(fmt.Sprintf("network: node %d sent out port %d with no link", node, p))
+		}
+		n.wheel.schedule(now+1+int64(n.cfg.LinkDelay), event{
+			node: nb, port: topology.Opposite(p), vc: v, fl: fl,
+		})
+	}
+}
+
+// creditFunc returns a freed input-buffer slot upstream: to the neighbor's
+// output VC, or to the local NI for the injection port.
+func (n *Network) creditFunc(node topology.NodeID) router.CreditFunc {
+	return func(from topology.NodeID, p topology.Port, v flow.VCID, now int64) {
+		at := now + 1 + int64(n.cfg.LinkDelay)
+		if p == topology.PortLocal {
+			n.wheel.schedule(at, event{credit: true, toNI: true, node: node, vc: v})
+			return
+		}
+		nb, ok := n.m.Neighbor(node, p)
+		if !ok {
+			panic(fmt.Sprintf("network: credit out port %d with no link", p))
+		}
+		n.wheel.schedule(at, event{credit: true, node: nb, port: topology.Opposite(p), vc: v})
+	}
+}
+
+// deliverFunc hands ejected flits to the destination NI.
+func (n *Network) deliverFunc(node topology.NodeID) router.DeliverFunc {
+	return func(fl flow.Flit, now int64) {
+		n.nis[node].deliver(fl, now)
+	}
+}
+
+// Step advances the network one cycle: deliver due events, let NIs
+// generate and inject, then tick every router.
+func (n *Network) Step() {
+	now := n.now
+	for _, e := range n.wheel.take(now) {
+		switch {
+		case e.credit && e.toNI:
+			n.nis[e.node].acceptCredit(e.vc)
+		case e.credit:
+			n.routers[e.node].AcceptCredit(e.port, e.vc)
+		default:
+			n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
+		}
+	}
+	for _, ni := range n.nis {
+		ni.tick(now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	n.now++
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Occupancy returns the number of flits buffered across all routers.
+func (n *Network) Occupancy() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.Occupancy()
+	}
+	return total
+}
+
+// QueuedMessages returns the number of messages waiting or streaming in
+// source queues.
+func (n *Network) QueuedMessages() int {
+	total := 0
+	for _, ni := range n.nis {
+		total += ni.pending()
+	}
+	return total
+}
+
+// Delivered returns the number of fully delivered messages.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Router exposes a router for inspection in tests.
+func (n *Network) Router(id topology.NodeID) *router.Router { return n.routers[id] }
+
+// traceHorizon returns the last injection time of the configured trace.
+func (n *Network) traceHorizon() int64 {
+	var last int64
+	for _, ni := range n.nis {
+		if ni.trace != nil {
+			for _, tm := range ni.trace.Due(1 << 62) {
+				if tm.At > last {
+					last = tm.At
+				}
+			}
+		}
+	}
+	// Due consumed the cursors; rebuild them for the actual run.
+	for _, ni := range n.nis {
+		if n.cfg.Trace != nil {
+			ni.trace = n.cfg.Trace.Cursor(ni.node)
+		}
+	}
+	return last
+}
+
+// RunParams controls one measured simulation (section 2.2's methodology).
+type RunParams struct {
+	// WarmupMessages are generated and delivered but not measured.
+	WarmupMessages int
+	// MeasureMessages is the number of messages statistics cover.
+	MeasureMessages int
+	// MaxCycles aborts the run (marking saturation) when exceeded; 0
+	// derives a budget from the offered load.
+	MaxCycles int64
+	// SatLatency marks the run saturated once the running mean latency
+	// exceeds it; 0 uses a default of 5000 cycles.
+	SatLatency float64
+	// BatchSize for latency confidence intervals; 0 uses measure/10.
+	BatchSize int64
+	// Progress guards against protocol deadlock: if no flit is delivered
+	// for this many cycles while traffic is in flight the run aborts.
+	// 0 uses 50000.
+	ProgressGuard int64
+}
+
+// Run executes the measurement loop: inject continuously, measure messages
+// [WarmupMessages, WarmupMessages+MeasureMessages), and stop when every
+// measured message has been delivered or a saturation guard trips.
+func (n *Network) Run(p RunParams) *stats.Run {
+	if p.MeasureMessages <= 0 {
+		panic("network: MeasureMessages must be positive")
+	}
+	if p.SatLatency == 0 {
+		p.SatLatency = 5000
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = int64(p.MeasureMessages / 10)
+		if p.BatchSize == 0 {
+			p.BatchSize = 1
+		}
+	}
+	if p.ProgressGuard == 0 {
+		p.ProgressGuard = 50000
+	}
+	if p.MaxCycles == 0 {
+		if n.cfg.Trace != nil {
+			p.MaxCycles = n.traceHorizon() + 200000
+		} else {
+			aggregate := n.cfg.MsgRate * float64(n.m.N())
+			if aggregate <= 0 {
+				panic("network: zero injection rate with no cycle budget")
+			}
+			need := float64(p.WarmupMessages+p.MeasureMessages) / aggregate
+			p.MaxCycles = int64(need*8) + 50000
+		}
+	}
+
+	run := stats.NewRun(n.m.N(), p.BatchSize)
+	lo := flow.MessageID(p.WarmupMessages)
+	hi := lo + flow.MessageID(p.MeasureMessages)
+	measuredDone := 0
+	var firstDeliver, lastDeliver int64 = -1, -1
+	lastProgress := n.now
+
+	n.onArrive = func(msg *flow.Message, now int64) {
+		lastProgress = now
+		if msg.ID < lo || msg.ID >= hi {
+			return
+		}
+		run.Record(
+			float64(msg.ArriveTime-msg.CreateTime),
+			float64(msg.ArriveTime-msg.InjectTime),
+			msg.Hops,
+			msg.Length,
+		)
+		measuredDone++
+		if firstDeliver < 0 {
+			firstDeliver = now
+		}
+		lastDeliver = now
+	}
+	defer func() { n.onArrive = nil }()
+
+	for measuredDone < p.MeasureMessages {
+		n.Step()
+		if n.now >= p.MaxCycles {
+			run.Saturated = true
+			run.SatReason = "cycle budget exhausted"
+			break
+		}
+		if run.Latency.N() >= int64(p.MeasureMessages/10+1) && run.Latency.Mean() > p.SatLatency {
+			run.Saturated = true
+			run.SatReason = "latency above saturation threshold"
+			break
+		}
+		if n.now-lastProgress > p.ProgressGuard && (n.Occupancy() > 0 || n.QueuedMessages() > 0) {
+			run.Saturated = true
+			run.SatReason = "no delivery progress (possible deadlock)"
+			break
+		}
+	}
+	if firstDeliver >= 0 && lastDeliver > firstDeliver {
+		run.Cycles = lastDeliver - firstDeliver
+	} else {
+		run.Cycles = n.now
+	}
+	return run
+}

@@ -1,0 +1,176 @@
+package network
+
+import (
+	"lapses/internal/flow"
+	"lapses/internal/router"
+	"lapses/internal/topology"
+	"lapses/internal/traffic"
+)
+
+// stream tracks one message being serialized into the router through one
+// injection VC.
+type stream struct {
+	msg *flow.Message
+	seq int
+}
+
+// ni is a node's network interface: it generates messages per the traffic
+// pattern, queues them (unbounded source queue: the open-loop model whose
+// queueing delay the paper's latency numbers include), serializes them
+// into the router's local input port across the injection VCs, and
+// receives ejected flits.
+//
+// In look-ahead mode the NI performs the source table lookup when it
+// builds the header flit, as the SGI SPIDER's interface does, so the
+// source router can start directly at its SA stage.
+type ni struct {
+	net   *Network
+	node  topology.NodeID
+	r     *router.Router
+	inj   *traffic.Injector
+	trace *traffic.TraceCursor
+
+	queue   []*flow.Message
+	qHead   int
+	streams []stream
+	credits []int
+	rr      int
+}
+
+func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
+	v := n.cfg.Router.NumVCs
+	x := &ni{
+		net:     n,
+		node:    node,
+		r:       r,
+		inj:     traffic.NewInjector(n.cfg.MsgRate, n.cfg.Seed+int64(node)),
+		streams: make([]stream, v),
+		credits: make([]int, v),
+	}
+	if n.cfg.Trace != nil {
+		x.trace = n.cfg.Trace.Cursor(node)
+	}
+	for i := range x.credits {
+		x.credits[i] = r.InputSpace(topology.PortLocal, flow.VCID(i))
+	}
+	return x
+}
+
+// pending returns messages queued or mid-injection.
+func (x *ni) pending() int {
+	n := len(x.queue) - x.qHead
+	for _, s := range x.streams {
+		if s.msg != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// tick generates due messages, binds queued messages to free injection
+// VCs, and injects at most one flit (the injection channel is one flit
+// wide, like every physical channel).
+func (x *ni) tick(now int64) {
+	if x.trace != nil {
+		for _, tm := range x.trace.Due(now) {
+			msg := &flow.Message{
+				ID:         x.net.nextMsg,
+				Src:        tm.Src,
+				Dst:        tm.Dst,
+				Length:     tm.Length,
+				CreateTime: now,
+			}
+			x.net.nextMsg++
+			x.queue = append(x.queue, msg)
+		}
+	} else {
+		for i := x.inj.Due(now); i > 0; i-- {
+			dst, ok := x.net.cfg.Pattern.Dest(x.node, x.inj.RNG())
+			if !ok {
+				continue
+			}
+			msg := &flow.Message{
+				ID:         x.net.nextMsg,
+				Src:        x.node,
+				Dst:        dst,
+				Length:     x.net.cfg.MsgLen,
+				CreateTime: now,
+			}
+			x.net.nextMsg++
+			x.queue = append(x.queue, msg)
+		}
+	}
+
+	// Bind the head of the queue to free injection VCs.
+	for v := range x.streams {
+		if x.streams[v].msg != nil {
+			continue
+		}
+		if x.qHead == len(x.queue) {
+			break
+		}
+		x.streams[v] = stream{msg: x.queue[x.qHead]}
+		x.queue[x.qHead] = nil
+		x.qHead++
+		if x.qHead == len(x.queue) {
+			x.queue = x.queue[:0]
+			x.qHead = 0
+		}
+	}
+
+	// Inject one flit, round-robin over active streams with credit.
+	nv := len(x.streams)
+	for off := 0; off < nv; off++ {
+		v := x.rr + off
+		if v >= nv {
+			v -= nv
+		}
+		s := &x.streams[v]
+		if s.msg == nil || x.credits[v] == 0 {
+			continue
+		}
+		fl := flow.Flit{
+			Msg:  s.msg,
+			Seq:  int32(s.seq),
+			Type: flow.TypeFor(s.seq, s.msg.Length),
+		}
+		if fl.Type.IsHead() {
+			s.msg.InjectTime = now
+			if x.net.cfg.Router.LookAhead {
+				fl.Route = x.r.Table().Lookup(s.msg.Dst, 0)
+			}
+		}
+		// One-cycle injection wire: the flit is latched into the
+		// router's local input buffer next cycle.
+		x.net.wheel.schedule(now+1, event{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl})
+		x.credits[v]--
+		s.seq++
+		if fl.Type.IsTail() {
+			*s = stream{}
+		}
+		x.rr = v + 1
+		if x.rr == nv {
+			x.rr = 0
+		}
+		return
+	}
+}
+
+// acceptCredit returns one injection-buffer slot for VC v.
+func (x *ni) acceptCredit(v flow.VCID) {
+	x.credits[v]++
+}
+
+// deliver consumes an ejected flit; the tail completes the message.
+func (x *ni) deliver(fl flow.Flit, now int64) {
+	if fl.Msg.Dst != x.node {
+		panic("network: flit delivered to wrong node")
+	}
+	if fl.Type.IsTail() {
+		fl.Msg.ArriveTime = now
+		x.net.delivered++
+		if x.net.onArrive != nil {
+			x.net.onArrive(fl.Msg, now)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package router
+
+import "lapses/internal/flow"
+
+// inEntry is a buffered input flit with the cycle it becomes eligible for
+// the next pipeline stage (enqueue + 1: the IB stage takes one cycle).
+type inEntry struct {
+	fl      flow.Flit
+	readyAt int64
+}
+
+// fifo is a fixed-capacity ring buffer of flits modeling an input VC
+// buffer. Zero value is unusable; call init.
+type fifo struct {
+	buf  []inEntry
+	head int
+	n    int
+}
+
+func (f *fifo) init(capacity int) { f.buf = make([]inEntry, capacity) }
+
+func (f *fifo) empty() bool { return f.n == 0 }
+func (f *fifo) full() bool  { return f.n == len(f.buf) }
+func (f *fifo) len() int    { return f.n }
+func (f *fifo) space() int  { return len(f.buf) - f.n }
+
+func (f *fifo) push(fl flow.Flit, readyAt int64) {
+	if f.full() {
+		panic("router: fifo overflow")
+	}
+	i := f.head + f.n
+	if i >= len(f.buf) {
+		i -= len(f.buf)
+	}
+	f.buf[i] = inEntry{fl: fl, readyAt: readyAt}
+	f.n++
+}
+
+// peek returns a pointer to the head entry so the SA stage can write the
+// regenerated header fields in place.
+func (f *fifo) peek() *inEntry {
+	if f.empty() {
+		panic("router: peek on empty fifo")
+	}
+	return &f.buf[f.head]
+}
+
+func (f *fifo) pop() flow.Flit {
+	if f.empty() {
+		panic("router: pop on empty fifo")
+	}
+	fl := f.buf[f.head].fl
+	f.buf[f.head].fl.Msg = nil // do not retain across reuse
+	f.head++
+	if f.head == len(f.buf) {
+		f.head = 0
+	}
+	f.n--
+	return fl
+}
+
+// outFifo is a fixed-capacity ring of output-buffer entries.
+type outFifo struct {
+	buf  []outEntry
+	head int
+	n    int
+}
+
+func (f *outFifo) init(capacity int) { f.buf = make([]outEntry, capacity) }
+
+func (f *outFifo) empty() bool { return f.n == 0 }
+func (f *outFifo) full() bool  { return f.n == len(f.buf) }
+
+func (f *outFifo) push(e outEntry) {
+	if f.full() {
+		panic("router: output buffer overflow")
+	}
+	i := f.head + f.n
+	if i >= len(f.buf) {
+		i -= len(f.buf)
+	}
+	f.buf[i] = e
+	f.n++
+}
+
+func (f *outFifo) peek() *outEntry {
+	if f.empty() {
+		panic("router: peek on empty output buffer")
+	}
+	return &f.buf[f.head]
+}
+
+func (f *outFifo) pop() outEntry {
+	if f.empty() {
+		panic("router: pop on empty output buffer")
+	}
+	e := f.buf[f.head]
+	f.buf[f.head].fl.Msg = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.head = 0
+	}
+	f.n--
+	return e
+}

@@ -1,0 +1,576 @@
+// Package router implements the paper's pipelined wormhole router models:
+// PROUD, the five-stage baseline (input/decode, table lookup, selection+
+// arbitration, crossbar, VC-mux/output), and LA-PROUD, the four-stage
+// look-ahead variant in which table lookup runs concurrently with
+// selection and arbitration because the header flit already carries the
+// candidate set valid at this router (section 3).
+//
+// The model is cycle-driven and flit-accurate. Each stage takes one cycle;
+// stage transitions advance a readyAt stamp so that intra-cycle processing
+// order can never move a flit through two stages in one cycle. Head flits
+// claim an output VC in the SA stage and every flit then competes per
+// cycle for the crossbar (separable input-then-output round-robin
+// allocation) and for the physical link (round-robin VC multiplexer,
+// gated by credit-based flow control). Tail flits release input-side and
+// output-side VC state as they pass, implementing wormhole semantics.
+package router
+
+import (
+	"fmt"
+
+	"lapses/internal/arbiter"
+	"lapses/internal/flow"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/topology"
+)
+
+// Config carries the microarchitectural parameters of one router. The zero
+// value is not usable; see DefaultConfig.
+type Config struct {
+	// NumVCs is the number of virtual channels per physical channel.
+	NumVCs int
+	// BufDepth is the input buffer depth per VC, in flits.
+	BufDepth int
+	// OutDepth is the output buffer depth per VC, in flits (the "Xbar
+	// route, buffering" stage of Fig. 1).
+	OutDepth int
+	// LookAhead selects the 4-stage LA-PROUD pipeline; false is the
+	// 5-stage PROUD baseline.
+	LookAhead bool
+	// CutThrough selects virtual cut-through switching: a header claims
+	// an output VC only when the downstream buffer can absorb the whole
+	// message, so blocked messages never stall spanning routers. False
+	// is wormhole switching (the paper's mode). Requires message length
+	// <= BufDepth.
+	CutThrough bool
+}
+
+// DefaultConfig returns the paper's Table 2 parameters: 4 VCs and 20-flit
+// buffers.
+func DefaultConfig() Config {
+	return Config{NumVCs: 4, BufDepth: 20, OutDepth: 4}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumVCs < 1 || c.NumVCs > 8 {
+		return fmt.Errorf("router: NumVCs %d out of range [1,8]", c.NumVCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("router: BufDepth %d < 1", c.BufDepth)
+	}
+	if c.OutDepth < 1 {
+		return fmt.Errorf("router: OutDepth %d < 1", c.OutDepth)
+	}
+	return nil
+}
+
+// SendFunc transmits a flit onto the link leaving the router through port,
+// tagged with the virtual channel it travels on (the downstream input VC).
+// The network fabric schedules its arrival at the neighbor.
+type SendFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, fl flow.Flit, now int64)
+
+// CreditFunc returns one credit upstream for the input buffer slot freed
+// on (port, vc). For the local port the credit goes to the node's NI.
+type CreditFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, now int64)
+
+// DeliverFunc hands an ejected flit to the local network interface.
+type DeliverFunc func(fl flow.Flit, now int64)
+
+// input VC pipeline states.
+type vcPhase uint8
+
+const (
+	phaseIdle vcPhase = iota
+	// phaseRouting: head flit awaiting the table-lookup (RC) stage
+	// (PROUD only; LA headers skip straight to phaseWaitSA).
+	phaseRouting
+	// phaseWaitSA: head flit awaiting selection + arbitration.
+	phaseWaitSA
+	// phaseActive: the worm holds an output VC; flits stream.
+	phaseActive
+)
+
+// inputVC is the state of one input virtual channel.
+type inputVC struct {
+	buf      fifo
+	phase    vcPhase
+	readyAt  int64
+	route    flow.RouteSet
+	outPort  topology.Port
+	outVC    flow.VCID
+	dateline uint8
+}
+
+// outEntry is a flit staged in an output buffer with its OUT-stage ready
+// time.
+type outEntry struct {
+	fl      flow.Flit
+	readyAt int64
+}
+
+// outputVC is the state of one output virtual channel.
+type outputVC struct {
+	owner   int32 // input VC index holding this VC; -1 when free
+	credits int   // free slots in the downstream input buffer
+	box     outFifo
+}
+
+// portMeta carries the per-output-port counters the path-selection
+// heuristics read.
+type portMeta struct {
+	useCount uint64
+	lastUsed int64
+	busyVCs  int
+}
+
+// Router is one PROUD / LA-PROUD router instance.
+type Router struct {
+	id    topology.NodeID
+	mesh  *topology.Mesh
+	cfg   Config
+	tbl   table.Table
+	sel   selection.Selector
+	wrap  bool
+	ports int
+
+	in    []inputVC
+	out   []outputVC
+	meta  []portMeta
+	xbArb []*arbiter.RoundRobin // per output port, over all input VC indices
+	muxAr []*arbiter.RoundRobin // per output port, over its output VCs
+	vcArb []*arbiter.RoundRobin // per output port, over VCs, for allocation
+	saRot int                   // rotating start for SA scans
+
+	send    SendFunc
+	credit  CreditFunc
+	deliver DeliverFunc
+
+	// occupancy tracks buffered flits for quiescence checks.
+	occupancy int
+}
+
+// New constructs a router for node id, programmed with the given table and
+// selection policy. Callbacks must be set with SetFabric before the first
+// Tick.
+func New(id topology.NodeID, m *topology.Mesh, cfg Config, tbl table.Table, sel selection.Selector) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	np := m.NumPorts()
+	r := &Router{
+		id:    id,
+		mesh:  m,
+		cfg:   cfg,
+		tbl:   tbl,
+		sel:   sel,
+		wrap:  m.Wrap(),
+		ports: np,
+		in:    make([]inputVC, np*cfg.NumVCs),
+		out:   make([]outputVC, np*cfg.NumVCs),
+		meta:  make([]portMeta, np),
+		xbArb: make([]*arbiter.RoundRobin, np),
+		muxAr: make([]*arbiter.RoundRobin, np),
+		vcArb: make([]*arbiter.RoundRobin, np),
+	}
+	for i := range r.in {
+		r.in[i].buf.init(cfg.BufDepth)
+	}
+	for i := range r.out {
+		r.out[i].owner = -1
+		r.out[i].credits = cfg.BufDepth
+		r.out[i].box.init(cfg.OutDepth)
+	}
+	for p := 0; p < np; p++ {
+		r.xbArb[p] = arbiter.NewRoundRobin(np * cfg.NumVCs)
+		r.muxAr[p] = arbiter.NewRoundRobin(cfg.NumVCs)
+		r.vcArb[p] = arbiter.NewRoundRobin(cfg.NumVCs)
+	}
+	for p := range r.meta {
+		r.meta[p].lastUsed = -1
+	}
+	return r
+}
+
+// SetFabric wires the router's outbound callbacks.
+func (r *Router) SetFabric(send SendFunc, credit CreditFunc, deliver DeliverFunc) {
+	r.send, r.credit, r.deliver = send, credit, deliver
+}
+
+// ID returns the router's node.
+func (r *Router) ID() topology.NodeID { return r.id }
+
+// Table returns the routing table, used by NIs to pre-compute look-ahead
+// headers at injection.
+func (r *Router) Table() table.Table { return r.tbl }
+
+func (r *Router) inIdx(p topology.Port, v flow.VCID) int {
+	return int(p)*r.cfg.NumVCs + int(v)
+}
+
+// EnqueueFlit latches a flit arriving on input (port, vc) at the start of
+// cycle now (the IB stage runs during now). The caller must respect
+// credit-based flow control; overflowing the buffer panics.
+func (r *Router) EnqueueFlit(p topology.Port, v flow.VCID, fl flow.Flit, now int64) {
+	idx := r.inIdx(p, v)
+	ivc := &r.in[idx]
+	if ivc.buf.full() {
+		panic(fmt.Sprintf("router %d: input buffer overflow on port %d vc %d (credit protocol violated)", r.id, p, v))
+	}
+	ivc.buf.push(fl, now+1)
+	r.occupancy++
+	if ivc.phase == phaseIdle && fl.Type.IsHead() {
+		r.startHeader(ivc, fl, now)
+	}
+}
+
+// startHeader moves an idle input VC into the routing pipeline for the
+// header now at the front of its buffer.
+func (r *Router) startHeader(ivc *inputVC, fl flow.Flit, now int64) {
+	ivc.dateline = fl.Dateline
+	if r.cfg.LookAhead {
+		// The header carries the candidates valid here; lookup has
+		// already happened upstream, concurrently with arbitration.
+		ivc.route = fl.Route
+		ivc.phase = phaseWaitSA
+	} else {
+		ivc.phase = phaseRouting
+	}
+	ivc.readyAt = now + 1
+}
+
+// AcceptCredit returns one credit to output (port, vc).
+func (r *Router) AcceptCredit(p topology.Port, v flow.VCID) {
+	ovc := &r.out[r.inIdx(p, v)]
+	ovc.credits++
+	if ovc.credits > r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r.id, p, v))
+	}
+}
+
+// Tick advances the router by one cycle. The network must deliver all
+// flits and credits due at cycle now before calling Tick(now).
+func (r *Router) Tick(now int64) {
+	if r.occupancy == 0 {
+		// Nothing buffered anywhere: every stage would scan and find
+		// no work. (A VC waiting in RC/SA always holds its header in
+		// the input buffer, so occupancy covers those states too.)
+		return
+	}
+	r.stageRC(now)
+	r.stageSA(now)
+	r.stageXB(now)
+	r.stageOUT(now)
+}
+
+// stageRC performs the table-lookup stage for PROUD headers.
+func (r *Router) stageRC(now int64) {
+	if r.cfg.LookAhead {
+		return
+	}
+	for i := range r.in {
+		ivc := &r.in[i]
+		if ivc.phase != phaseRouting || ivc.readyAt > now {
+			continue
+		}
+		hdr := ivc.buf.peek()
+		ivc.route = r.tbl.Lookup(hdr.fl.Msg.Dst, ivc.dateline)
+		ivc.phase = phaseWaitSA
+		ivc.readyAt = now + 1
+	}
+}
+
+// stageSA performs selection + arbitration (output VC allocation) for
+// waiting headers. Input VCs are scanned from a rotating offset so no VC
+// is structurally favored; a claim takes effect immediately, so later VCs
+// in the same cycle see it — sequential arbitration with rotating
+// priority.
+func (r *Router) stageSA(now int64) {
+	n := len(r.in)
+	start := r.saRot
+	r.saRot++
+	if r.saRot == n {
+		r.saRot = 0
+	}
+	for off := 0; off < n; off++ {
+		i := start + off
+		if i >= n {
+			i -= n
+		}
+		ivc := &r.in[i]
+		if ivc.phase != phaseWaitSA || ivc.readyAt > now {
+			continue
+		}
+		r.tryAllocate(i, ivc, now)
+	}
+}
+
+// tryAllocate attempts the SA stage for one waiting header: determine the
+// eligible candidates, run the path-selection heuristic, claim an output
+// VC, and (in look-ahead mode) build the outgoing header's candidate set.
+func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
+	rs := ivc.route
+	// Virtual cut-through admission: the downstream buffer must be able
+	// to absorb the entire message before the header may claim the VC.
+	needCredits := 0
+	if r.cfg.CutThrough {
+		needCredits = int(ivc.buf.peek().fl.Msg.Length)
+		if needCredits > r.cfg.BufDepth {
+			panic(fmt.Sprintf("router %d: cut-through message of %d flits exceeds buffer depth %d",
+				r.id, needCredits, r.cfg.BufDepth))
+		}
+	}
+	// Pass 1: candidates with a free adaptive VC. Duato's protocol
+	// prefers adaptive channels and falls back to the escape channel
+	// only when no adaptive VC is free this cycle.
+	var eligible uint8
+	for i := 0; i < rs.Len(); i++ {
+		c := rs.At(i)
+		if r.freeVC(c.Port, c.Adaptive, needCredits) >= 0 {
+			eligible |= 1 << i
+		}
+	}
+	escape := false
+	if eligible == 0 {
+		for i := 0; i < rs.Len(); i++ {
+			c := rs.At(i)
+			if r.freeVC(c.Port, c.Escape, needCredits) >= 0 {
+				eligible |= 1 << i
+			}
+		}
+		escape = true
+	}
+	if eligible == 0 {
+		return // stall; retry next cycle
+	}
+	choice := 0
+	if rs.Len() > 1 {
+		choice = r.sel.Select(r, rs, eligible)
+		if eligible&(1<<choice) == 0 {
+			panic("router: selector returned ineligible candidate")
+		}
+	} else if eligible&1 == 0 {
+		panic("router: single candidate not eligible")
+	}
+	cand := rs.At(choice)
+	mask := cand.Adaptive
+	if escape {
+		mask = cand.Escape
+	}
+	v := r.claimVC(cand.Port, mask, needCredits, int32(idx))
+	ivc.outPort = cand.Port
+	ivc.outVC = v
+	ivc.phase = phaseActive
+	ivc.readyAt = now + 1
+
+	// New header generation (concurrent with crossbar traversal in the
+	// hardware): compute the dateline state after this hop and, in
+	// look-ahead mode, the candidate set for the next router.
+	hdr := ivc.buf.peek()
+	if cand.Port != topology.PortLocal {
+		next := ivc.dateline
+		if r.wrap {
+			next = nextDatelineBit(r.mesh, r.id, cand.Port, next)
+		}
+		hdr.fl.Dateline = next
+		if r.cfg.LookAhead {
+			hdr.fl.Route = r.tbl.LookupAt(cand.Port, hdr.fl.Msg.Dst, next)
+		}
+	}
+}
+
+// freeVC returns the lowest claimable VC in mask on port p, or -1. A VC
+// is claimable when unowned and, under cut-through switching, holding at
+// least needCredits credits. The local port's sink always has room.
+func (r *Router) freeVC(p topology.Port, mask flow.VCMask, needCredits int) int {
+	if mask == 0 {
+		return -1
+	}
+	if p == topology.PortLocal {
+		needCredits = 0
+	}
+	base := int(p) * r.cfg.NumVCs
+	for v := 0; v < r.cfg.NumVCs; v++ {
+		ovc := &r.out[base+v]
+		if mask.Has(flow.VCID(v)) && ovc.owner < 0 && ovc.credits >= needCredits {
+			return v
+		}
+	}
+	return -1
+}
+
+// claimVC allocates a claimable VC in mask on port p, rotating the
+// starting VC for fairness. It panics if none is claimable (callers check
+// first).
+func (r *Router) claimVC(p topology.Port, mask flow.VCMask, needCredits int, owner int32) flow.VCID {
+	if p == topology.PortLocal {
+		needCredits = 0
+	}
+	base := int(p) * r.cfg.NumVCs
+	var reqs uint64
+	for v := 0; v < r.cfg.NumVCs; v++ {
+		ovc := &r.out[base+v]
+		if mask.Has(flow.VCID(v)) && ovc.owner < 0 && ovc.credits >= needCredits {
+			reqs |= 1 << v
+		}
+	}
+	g := r.vcArb[p].Grant(reqs)
+	if g < 0 {
+		panic("router: claimVC with no free VC")
+	}
+	r.out[base+g].owner = owner
+	r.meta[p].busyVCs++
+	return flow.VCID(g)
+}
+
+// stageXB performs crossbar arbitration and traversal. Following the
+// paper's model — "a router can be considered as a set of parallel PROUD
+// pipes equal to the product of the number of physical input/output ports
+// and the number of VCs; contention for resources between the parallel
+// pipes can occur only in the crossbar arbitration and VC multiplexing
+// stages" (section 2.2) — each input VC is its own crossbar input, so the
+// switch contends only per output port: one flit per output port per
+// cycle, granted round-robin over all requesting input VCs.
+func (r *Router) stageXB(now int64) {
+	var reqs [16]uint64 // per output port, bitmask over input VC indices
+	any := false
+	for i := range r.in {
+		ivc := &r.in[i]
+		if ivc.phase != phaseActive || ivc.readyAt > now || ivc.buf.empty() {
+			continue
+		}
+		if ivc.buf.peek().readyAt > now {
+			continue
+		}
+		if r.out[r.inIdx(ivc.outPort, ivc.outVC)].box.full() {
+			continue
+		}
+		reqs[ivc.outPort] |= 1 << i
+		any = true
+	}
+	if !any {
+		return
+	}
+	for op := 0; op < r.ports; op++ {
+		if reqs[op] == 0 {
+			continue
+		}
+		g := r.xbArb[op].Grant(reqs[op])
+		ivc := &r.in[g]
+		r.traverse(g, &r.out[r.inIdx(ivc.outPort, ivc.outVC)], now)
+	}
+}
+
+// traverse moves the head flit of input VC inIdx through the crossbar into
+// its allocated output buffer.
+func (r *Router) traverse(inIdx int, ovc *outputVC, now int64) {
+	ivc := &r.in[inIdx]
+	fl := ivc.buf.pop()
+	// Propagate the header fields computed at SA to the stored copy.
+	ovc.box.push(outEntry{fl: fl, readyAt: now + 1})
+	// Return the freed buffer slot upstream.
+	p := topology.Port(inIdx / r.cfg.NumVCs)
+	v := flow.VCID(inIdx % r.cfg.NumVCs)
+	r.credit(r.id, p, v, now)
+	if fl.Type.IsTail() {
+		// The worm has fully left this input VC.
+		ivc.phase = phaseIdle
+		ivc.route = flow.RouteSet{}
+		if !ivc.buf.empty() {
+			nxt := ivc.buf.peek()
+			if !nxt.fl.Type.IsHead() {
+				panic("router: non-head flit follows tail in input buffer")
+			}
+			r.startHeader(ivc, nxt.fl, now)
+		}
+	} else {
+		ivc.readyAt = now + 1
+	}
+}
+
+// stageOUT performs the VC-multiplex / output stage: per physical port,
+// one flit with credit is placed on the link (or delivered locally).
+func (r *Router) stageOUT(now int64) {
+	for p := 0; p < r.ports; p++ {
+		base := p * r.cfg.NumVCs
+		var reqs uint64
+		for v := 0; v < r.cfg.NumVCs; v++ {
+			ovc := &r.out[base+v]
+			if ovc.box.empty() {
+				continue
+			}
+			e := ovc.box.peek()
+			if e.readyAt > now {
+				continue
+			}
+			if p != int(topology.PortLocal) && ovc.credits == 0 {
+				continue
+			}
+			reqs |= 1 << v
+		}
+		if reqs == 0 {
+			continue
+		}
+		g := r.muxAr[p].Grant(reqs)
+		ovc := &r.out[base+g]
+		e := ovc.box.pop()
+		r.occupancy--
+		r.meta[p].useCount++
+		r.meta[p].lastUsed = now
+		if p == int(topology.PortLocal) {
+			r.deliver(e.fl, now)
+		} else {
+			ovc.credits--
+			if e.fl.Type.IsHead() {
+				e.fl.Msg.Hops++
+			}
+			r.send(r.id, topology.Port(p), flow.VCID(g), e.fl, now)
+		}
+		if e.fl.Type.IsTail() {
+			ovc.owner = -1
+			r.meta[p].busyVCs--
+		}
+	}
+}
+
+// nextDatelineBit sets the dimension bit when the hop through port p
+// crosses a torus wraparound link.
+func nextDatelineBit(m *topology.Mesh, id topology.NodeID, p topology.Port, dl uint8) uint8 {
+	d := topology.PortDim(p)
+	x := m.CoordAxis(id, d)
+	k := m.Radix(d)
+	if (topology.PortSign(p) > 0 && x == k-1) || (topology.PortSign(p) < 0 && x == 0) {
+		dl |= 1 << d
+	}
+	return dl
+}
+
+// BusyVCs implements selection.PortView.
+func (r *Router) BusyVCs(p topology.Port) int { return r.meta[p].busyVCs }
+
+// Credits implements selection.PortView: total credits over the port's VCs.
+func (r *Router) Credits(p topology.Port) int {
+	base := int(p) * r.cfg.NumVCs
+	total := 0
+	for v := 0; v < r.cfg.NumVCs; v++ {
+		total += r.out[base+v].credits
+	}
+	return total
+}
+
+// UseCount implements selection.PortView.
+func (r *Router) UseCount(p topology.Port) uint64 { return r.meta[p].useCount }
+
+// LastUsed implements selection.PortView.
+func (r *Router) LastUsed(p topology.Port) int64 { return r.meta[p].lastUsed }
+
+// Occupancy returns the number of flits buffered in the router, used by
+// the network's quiescence and progress checks.
+func (r *Router) Occupancy() int { return r.occupancy }
+
+// InputSpace returns the free flit slots of input (port, vc); the NI uses
+// it to initialize its injection credit counters.
+func (r *Router) InputSpace(p topology.Port, v flow.VCID) int {
+	return r.in[r.inIdx(p, v)].buf.space()
+}

@@ -1,0 +1,192 @@
+package router
+
+import (
+	"testing"
+
+	"lapses/internal/flow"
+	"lapses/internal/routing"
+	"lapses/internal/selection"
+	"lapses/internal/topology"
+)
+
+// A PROUD router must ignore any Route carried in the header and use its
+// own table (the header is only trusted in look-ahead mode).
+func TestPROUDIgnoresHeaderRoute(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 4}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	h := newHarness(t, m, node, defCfg, alg, selection.New(selection.StaticXY, 0))
+	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 1)
+	fl := mkFlit(msg, 0)
+	// Poison the header with a bogus route pointing the wrong way.
+	fl.Route.Add(flow.Candidate{Port: topology.PortMinus(1), Adaptive: flow.MaskAll(4)})
+	h.r.EnqueueFlit(topology.PortMinus(0), 0, fl, 0)
+	h.run(0, 10)
+	s := h.sends()
+	if len(s) != 1 || s[0].port != topology.PortPlus(0) {
+		t.Fatalf("PROUD router did not use its own table: %+v", s)
+	}
+}
+
+// Conversely, an LA router trusts the header even when it disagrees with
+// the local table — that is the contract look-ahead depends on.
+func TestLATrustsHeaderRoute(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 4}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	cfg := defCfg
+	cfg.LookAhead = true
+	h := newHarness(t, m, node, cfg, alg, selection.New(selection.StaticXY, 0))
+	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 1)
+	fl := mkFlit(msg, 0)
+	// Header says +Y although XY would say +X.
+	fl.Route.Add(flow.Candidate{Port: topology.PortPlus(1), Adaptive: flow.MaskAll(4)})
+	h.r.EnqueueFlit(topology.PortMinus(0), 0, fl, 0)
+	h.run(0, 10)
+	s := h.sends()
+	if len(s) != 1 || s[0].port != topology.PortPlus(1) {
+		t.Fatalf("LA router did not follow the header: %+v", s)
+	}
+}
+
+// A full output buffer must backpressure the crossbar, not overflow.
+func TestOutboxBackpressure(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 2}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	cfg := Config{NumVCs: 2, BufDepth: 8, OutDepth: 1}
+	h := newHarness(t, m, node, cfg, alg, selection.New(selection.StaticXY, 0))
+	// A long message with credits never returned: after BufDepth (8)
+	// link sends the output stalls, the depth-1 outbox fills, and the
+	// crossbar must stop draining the input buffer.
+	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 20)
+	for c := int64(0); c <= 40; c++ {
+		if c < 12 {
+			h.r.EnqueueFlit(topology.PortMinus(0), 0, mkFlit(msg, int(c)), c)
+		}
+		h.r.Tick(c)
+	}
+	// Only BufDepth (8) flits can have been sent (credits exhausted);
+	// one more sits in the outbox; the rest wait in the input buffer.
+	if n := len(h.sends()); n != 8 {
+		t.Fatalf("sends = %d want 8 (credit-limited)", n)
+	}
+	if h.r.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d want 4 (12 in - 8 out)", h.r.Occupancy())
+	}
+}
+
+// Two active messages on different VCs of the same output port share the
+// physical link via the VC multiplexer, alternating fairly.
+func TestVCMuxFairness(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 4}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	h := newHarness(t, m, node, defCfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{2, 1})
+	a, b := mkMsg(1, 0, dst, 8), mkMsg(2, 0, dst, 8)
+	for i := 0; i < 8; i++ {
+		h.r.EnqueueFlit(topology.PortMinus(0), 0, mkFlit(a, i), int64(i))
+		h.r.EnqueueFlit(topology.PortMinus(1), 0, mkFlit(b, i), int64(i))
+	}
+	h.run(0, 40)
+	s := h.sends()
+	if len(s) != 16 {
+		t.Fatalf("sends = %d want 16", len(s))
+	}
+	// In the steady interleaved window, consecutive sends alternate
+	// between the two messages.
+	swaps := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].fl.Msg.ID != s[i-1].fl.Msg.ID {
+			swaps++
+		}
+	}
+	if swaps < 10 {
+		t.Errorf("VC mux barely interleaved: %d alternations in 16 sends", swaps)
+	}
+}
+
+// A single-flit message must release both input-side and output-side VC
+// state in one pass.
+func TestHeadTailReleasesAllState(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 4}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	h := newHarness(t, m, node, defCfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{2, 1})
+	for i := 0; i < 5; i++ {
+		msg := mkMsg(int64(i+1), 0, dst, 1)
+		h.r.EnqueueFlit(topology.PortMinus(0), 0, mkFlit(msg, 0), int64(i*10))
+		h.run(int64(i*10), int64(i*10+9))
+	}
+	if n := len(h.sends()); n != 5 {
+		t.Fatalf("sends = %d want 5", n)
+	}
+	if h.r.BusyVCs(topology.PortPlus(0)) != 0 {
+		t.Errorf("output VCs leaked: %d busy", h.r.BusyVCs(topology.PortPlus(0)))
+	}
+	if h.r.Occupancy() != 0 {
+		t.Errorf("occupancy leaked: %d", h.r.Occupancy())
+	}
+}
+
+// Adaptive VC allocation rotates across the adaptive class rather than
+// pinning the lowest VC.
+func TestVCAllocationRotates(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cls := routing.Class{NumVCs: 4, EscapeVCs: 1}
+	alg := routing.NewDuato(m, cls)
+	node := m.ID(topology.Coord{1, 1})
+	h := newHarness(t, m, node, defCfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{3, 1})
+	vcSeen := map[flow.VCID]bool{}
+	for i := 0; i < 6; i++ {
+		msg := mkMsg(int64(i+1), 0, dst, 1)
+		h.r.EnqueueFlit(topology.PortMinus(0), 0, mkFlit(msg, 0), int64(i*12))
+		h.run(int64(i*12), int64(i*12+11))
+	}
+	for _, e := range h.sends() {
+		vcSeen[e.vc] = true
+	}
+	// The three adaptive VCs (1..3) should all have been used.
+	if !vcSeen[1] || !vcSeen[2] || !vcSeen[3] {
+		t.Errorf("VC allocation did not rotate: used %v", vcSeen)
+	}
+	if vcSeen[0] {
+		t.Errorf("escape VC used without adaptive exhaustion")
+	}
+}
+
+// The router must reject construction with a bad config.
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 4}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	newHarness(t, m, 4, Config{NumVCs: 0, BufDepth: 4, OutDepth: 2}, alg, selection.New(selection.StaticXY, 0))
+}
+
+// Dateline bookkeeping: a header crossing the torus wraparound link picks
+// up the dimension bit, observable in the sent header.
+func TestDatelineBitSetOnWrap(t *testing.T) {
+	m := topology.NewTorus(4, 4)
+	cls := routing.Class{NumVCs: 4, EscapeVCs: 2}
+	alg := routing.NewDuato(m, cls)
+	node := m.ID(topology.Coord{3, 0}) // +X hop wraps to x=0
+	h := newHarness(t, m, node, defCfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{1, 0}) // minimal route: +X through the wrap
+	msg := mkMsg(1, 0, dst, 1)
+	h.r.EnqueueFlit(topology.PortMinus(0), 1, mkFlit(msg, 0), 0)
+	h.run(0, 12)
+	s := h.sends()
+	if len(s) != 1 || s[0].port != topology.PortPlus(0) {
+		t.Fatalf("unexpected route: %+v", s)
+	}
+	if s[0].fl.Dateline&1 == 0 {
+		t.Error("dateline bit not set on wrap crossing")
+	}
+}

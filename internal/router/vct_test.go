@@ -1,0 +1,94 @@
+package router
+
+import (
+	"testing"
+
+	"lapses/internal/flow"
+	"lapses/internal/routing"
+	"lapses/internal/selection"
+	"lapses/internal/topology"
+)
+
+// Virtual cut-through admission: a header may not claim an output VC until
+// the downstream buffer can hold the entire message.
+func TestVCTAdmissionStalls(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 2}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	cfg := Config{NumVCs: 2, BufDepth: 6, OutDepth: 2, CutThrough: true}
+	h := newHarness(t, m, node, cfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{2, 1})
+
+	// Drain 3 of the 6 credits of +X VC0 and VC1 with two short
+	// messages whose credits we never return.
+	for v := 0; v < 2; v++ {
+		blk := mkMsg(int64(v+1), 0, dst, 3)
+		for i := 0; i < 3; i++ {
+			h.r.EnqueueFlit(topology.PortMinus(0), flow.VCID(v), mkFlit(blk, i), int64(i))
+		}
+	}
+	h.run(0, 20)
+	if n := len(h.sends()); n != 6 {
+		t.Fatalf("setup sends = %d want 6", n)
+	}
+	// Both +X VCs now hold 3 credits. A 4-flit message must stall...
+	probe := mkMsg(3, 0, dst, 4)
+	for i := 0; i < 4; i++ {
+		h.r.EnqueueFlit(topology.PortMinus(1), 0, mkFlit(probe, i), int64(21+i))
+	}
+	h.run(21, 40)
+	if n := len(h.sends()); n != 6 {
+		t.Fatalf("VCT admitted with insufficient credits: sends = %d", n)
+	}
+	// ...until credits return.
+	vc := h.sends()[0].vc
+	h.r.AcceptCredit(topology.PortPlus(0), vc)
+	h.run(41, 60)
+	if n := len(h.sends()); n != 10 {
+		t.Fatalf("VCT did not admit after credits returned: sends = %d want 10", n)
+	}
+}
+
+// Wormhole switching (the baseline) admits the same message immediately.
+func TestWormholeAdmitsWithPartialCredits(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 2}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	cfg := Config{NumVCs: 2, BufDepth: 6, OutDepth: 2, CutThrough: false}
+	h := newHarness(t, m, node, cfg, alg, selection.New(selection.StaticXY, 0))
+	dst := m.ID(topology.Coord{2, 1})
+	for v := 0; v < 2; v++ {
+		blk := mkMsg(int64(v+1), 0, dst, 3)
+		for i := 0; i < 3; i++ {
+			h.r.EnqueueFlit(topology.PortMinus(0), flow.VCID(v), mkFlit(blk, i), int64(i))
+		}
+	}
+	h.run(0, 20)
+	probe := mkMsg(3, 0, dst, 4)
+	for i := 0; i < 4; i++ {
+		h.r.EnqueueFlit(topology.PortMinus(1), 0, mkFlit(probe, i), int64(21+i))
+	}
+	h.run(21, 45)
+	// Wormhole streams the probe into the 3 remaining credits.
+	if n := len(h.sends()); n != 9 {
+		t.Fatalf("wormhole sends = %d want 9 (6 setup + 3 of probe)", n)
+	}
+}
+
+// VCT with a message longer than the buffer must panic loudly rather than
+// deadlock silently.
+func TestVCTOversizeMessagePanics(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	alg := routing.NewDimOrder(m, routing.Class{NumVCs: 2}, nil)
+	node := m.ID(topology.Coord{1, 1})
+	cfg := Config{NumVCs: 2, BufDepth: 4, OutDepth: 2, CutThrough: true}
+	h := newHarness(t, m, node, cfg, alg, selection.New(selection.StaticXY, 0))
+	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 9)
+	h.r.EnqueueFlit(topology.PortMinus(0), 0, mkFlit(msg, 0), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected oversize panic")
+		}
+	}()
+	h.run(0, 10)
+}

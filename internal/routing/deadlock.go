@@ -1,0 +1,225 @@
+package routing
+
+import (
+	"fmt"
+
+	"lapses/internal/flow"
+	"lapses/internal/topology"
+)
+
+// Channel identifies one virtual channel of one unidirectional link: the
+// link leaving node Src through port Out, on virtual channel VC.
+type Channel struct {
+	Src topology.NodeID
+	Out topology.Port
+	VC  flow.VCID
+}
+
+// EscapeDependencyGraph builds the channel dependency graph of an
+// algorithm's escape subfunction (the deterministic routing restricted to
+// escape VCs). Per Duato's theory the adaptive network is deadlock-free if
+// this graph is acyclic. For algorithms with EscapeVCs == 0 (turn models,
+// plain dimension order) the whole routing function is treated as the
+// escape subfunction, checking the algorithm's own deadlock freedom.
+//
+// An edge c1 -> c2 exists when a message can hold c1 while requesting c2:
+// c1 enters node v and the algorithm routes it onward through c2 for some
+// destination.
+func EscapeDependencyGraph(m *topology.Mesh, alg Algorithm, cls Class) map[Channel][]Channel {
+	deps := make(map[Channel][]Channel)
+	// For every (node, destination) pair, find escape hops at consecutive
+	// routers along the way. We enumerate dependencies locally: for node v
+	// and destination dst, the escape candidate at v defines the outgoing
+	// channel; the escape candidate at each upstream neighbor u that
+	// routes into v defines the incoming channel.
+	escAt := func(cur, dst topology.NodeID, dl uint8) (topology.Port, flow.VCMask, bool) {
+		rs := alg.Route(cur, dst, dl)
+		for i := 0; i < rs.Len(); i++ {
+			c := rs.At(i)
+			mask := c.Escape
+			if cls.EscapeVCs == 0 {
+				mask = c.Adaptive
+			}
+			if mask == 0 || c.Port == topology.PortLocal {
+				continue
+			}
+			// A minimal route never crosses the same dimension's
+			// wraparound twice; states that would are unreachable
+			// and must not contribute dependency edges.
+			if m.Wrap() {
+				d := topology.PortDim(c.Port)
+				if dl&(1<<d) != 0 && nextDateline(m, cur, c.Port, 0)&(1<<d) != 0 {
+					continue
+				}
+			}
+			return c.Port, mask, true
+		}
+		return topology.InvalidPort, 0, false
+	}
+	n := topology.NodeID(m.N())
+	for v := topology.NodeID(0); v < n; v++ {
+		for dst := topology.NodeID(0); dst < n; dst++ {
+			if v == dst {
+				continue
+			}
+			// Enumerate dateline states a message could arrive with.
+			states := []uint8{0}
+			if m.Wrap() {
+				states = allDatelineStates(m.NumDims())
+			}
+			for _, dl := range states {
+				outPort, outMask, ok := escAt(v, dst, dl)
+				if !ok {
+					continue
+				}
+				// Incoming: each neighbor u whose escape hop for dst
+				// leads into v.
+				for p := topology.Port(1); int(p) < m.NumPorts(); p++ {
+					u, ok := m.Neighbor(v, p)
+					if !ok {
+						continue
+					}
+					for _, udl := range states {
+						inPort, inMask, ok := escAt(u, dst, udl)
+						if !ok {
+							continue
+						}
+						if nb, _ := m.Neighbor(u, inPort); nb != v {
+							continue
+						}
+						// The dateline state at v must be consistent:
+						// crossing a wrap link sets the dimension bit.
+						if m.Wrap() && nextDateline(m, u, inPort, udl) != dl {
+							continue
+						}
+						addDeps(deps, u, inPort, inMask, v, outPort, outMask)
+					}
+				}
+			}
+		}
+	}
+	return deps
+}
+
+func allDatelineStates(dims int) []uint8 {
+	out := make([]uint8, 1<<dims)
+	for i := range out {
+		out[i] = uint8(i)
+	}
+	return out
+}
+
+// nextDateline returns the dateline bitmask after traversing port p out of
+// node u: crossing a wraparound link sets the bit of that dimension.
+func nextDateline(m *topology.Mesh, u topology.NodeID, p topology.Port, dl uint8) uint8 {
+	if !m.Wrap() || p == topology.PortLocal {
+		return dl
+	}
+	d := topology.PortDim(p)
+	x := m.CoordAxis(u, d)
+	k := m.Radix(d)
+	if (topology.PortSign(p) > 0 && x == k-1) || (topology.PortSign(p) < 0 && x == 0) {
+		dl |= 1 << d
+	}
+	return dl
+}
+
+func addDeps(deps map[Channel][]Channel, u topology.NodeID, inPort topology.Port, inMask flow.VCMask, v topology.NodeID, outPort topology.Port, outMask flow.VCMask) {
+	for iv := flow.VCID(0); iv < 16; iv++ {
+		if !inMask.Has(iv) {
+			continue
+		}
+		from := Channel{Src: u, Out: inPort, VC: iv}
+		for ov := flow.VCID(0); ov < 16; ov++ {
+			if !outMask.Has(ov) {
+				continue
+			}
+			deps[from] = append(deps[from], Channel{Src: v, Out: outPort, VC: ov})
+		}
+	}
+}
+
+// Acyclic reports whether the dependency graph has no cycle, returning one
+// offending cycle (as a channel list) when it does.
+func Acyclic(deps map[Channel][]Channel) (bool, []Channel) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Channel]int, len(deps))
+	var stack []Channel
+	var cycle []Channel
+
+	var visit func(c Channel) bool
+	visit = func(c Channel) bool {
+		color[c] = gray
+		stack = append(stack, c)
+		for _, nxt := range deps[c] {
+			switch color[nxt] {
+			case gray:
+				// Found a cycle: slice it out of the stack.
+				for i, s := range stack {
+					if s == nxt {
+						cycle = append([]Channel(nil), stack[i:]...)
+						break
+					}
+				}
+				return false
+			case white:
+				if !visit(nxt) {
+					return false
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[c] = black
+		return true
+	}
+	for c := range deps {
+		if color[c] == white {
+			if !visit(c) {
+				return false, cycle
+			}
+		}
+	}
+	return true, nil
+}
+
+// ValidateMinimal checks that every candidate an algorithm returns is
+// productive (strictly reduces distance to the destination) and that the
+// candidate set is never empty. It returns the first violation found.
+func ValidateMinimal(m *topology.Mesh, alg Algorithm) error {
+	n := topology.NodeID(m.N())
+	for cur := topology.NodeID(0); cur < n; cur++ {
+		for dst := topology.NodeID(0); dst < n; dst++ {
+			rs := alg.Route(cur, dst, 0)
+			if rs.Empty() {
+				return fmt.Errorf("routing: %s returns no candidates for %d->%d", alg.Name(), cur, dst)
+			}
+			for i := 0; i < rs.Len(); i++ {
+				c := rs.At(i)
+				if c.All() == 0 {
+					return fmt.Errorf("routing: %s candidate with empty VC mask for %d->%d", alg.Name(), cur, dst)
+				}
+				if cur == dst {
+					if c.Port != topology.PortLocal {
+						return fmt.Errorf("routing: %s does not eject at destination %d", alg.Name(), dst)
+					}
+					continue
+				}
+				if c.Port == topology.PortLocal {
+					return fmt.Errorf("routing: %s ejects early for %d->%d", alg.Name(), cur, dst)
+				}
+				nb, ok := m.Neighbor(cur, c.Port)
+				if !ok {
+					return fmt.Errorf("routing: %s routes off the edge for %d->%d port %s", alg.Name(), cur, dst, m.PortName(c.Port))
+				}
+				if m.Distance(nb, dst) != m.Distance(cur, dst)-1 {
+					return fmt.Errorf("routing: %s non-minimal hop for %d->%d via %s", alg.Name(), cur, dst, m.PortName(c.Port))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package selection implements the path-selection heuristics of section 4:
+// given the candidate output ports an adaptive routing table returned, and
+// the subset currently usable (a free VC and buffer space), pick the one
+// the message will arbitrate for.
+//
+// STATIC-XY (dimension-order preference) and MIN-MUX (minimum VC
+// multiplexing degree, from Duato) are the baselines; LFU, LRU and
+// MAX-CREDIT are the paper's proposed traffic-sensitive heuristics. RANDOM
+// (Chaos-router style) is included as an extra baseline. The paper's
+// "first-available-free-path" policy coincides with STATIC-XY here because
+// the router only offers currently-available candidates to the selector.
+//
+// Selectors are stateless: the usage counters they score with (port use
+// counts, last-use cycles, credit levels, busy-VC counts) belong to the
+// router and are exposed through the PortView interface, mirroring the
+// hardware split between the selection logic and the per-port counters it
+// reads (section 4.1 discusses the counter costs of each policy).
+package selection
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lapses/internal/flow"
+	"lapses/internal/topology"
+)
+
+// PortView exposes the per-output-port state a selector may score
+// candidates with. The router implements it.
+type PortView interface {
+	// BusyVCs returns the number of currently-allocated VCs on output
+	// port p — MIN-MUX's "degree of VC multiplexing".
+	BusyVCs(p topology.Port) int
+	// Credits returns the flow-control credits summed over every VC of
+	// output port p — MAX-CREDIT's score.
+	Credits(p topology.Port) int
+	// UseCount returns the cumulative number of flits sent through
+	// output port p — LFU's counter.
+	UseCount(p topology.Port) uint64
+	// LastUsed returns the most recent cycle a flit was sent through
+	// output port p, or -1 if never — LRU's age stamp.
+	LastUsed(p topology.Port) int64
+}
+
+// Selector picks one candidate among the currently usable alternatives.
+type Selector interface {
+	Name() string
+	// Select returns the index (into rs) of the chosen candidate.
+	// eligible is a nonzero bitmask of candidate indices that currently
+	// have a claimable VC; the selector must return one of them.
+	Select(view PortView, rs flow.RouteSet, eligible uint8) int
+}
+
+// Kind names a selection policy.
+type Kind int
+
+const (
+	// StaticXY prefers candidates in table order (dimension order).
+	StaticXY Kind = iota
+	// MinMux picks the port with the fewest busy VCs.
+	MinMux
+	// LFU picks the port with the lowest cumulative use count.
+	LFU
+	// LRU picks the port unused for the longest time.
+	LRU
+	// MaxCredit picks the port with the most flow-control credits.
+	MaxCredit
+	// Random picks uniformly among eligible candidates.
+	Random
+)
+
+// Kinds lists every selection policy, in the order Fig. 6 plots them
+// (plus Random).
+var Kinds = []Kind{StaticXY, MinMux, LFU, LRU, MaxCredit, Random}
+
+func (k Kind) String() string {
+	switch k {
+	case StaticXY:
+		return "static-xy"
+	case MinMux:
+		return "min-mux"
+	case LFU:
+		return "lfu"
+	case LRU:
+		return "lru"
+	case MaxCredit:
+		return "max-credit"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a policy name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("selection: unknown policy %q", s)
+}
+
+// New returns a selector of the given kind. seed matters only for Random;
+// every router gets its own selector so randomized runs stay deterministic
+// for a fixed configuration seed.
+func New(k Kind, seed int64) Selector {
+	switch k {
+	case StaticXY:
+		return staticXY{}
+	case MinMux:
+		return minMux{}
+	case LFU:
+		return lfu{}
+	case LRU:
+		return lru{}
+	case MaxCredit:
+		return maxCredit{}
+	case Random:
+		return &random{rng: rand.New(rand.NewSource(seed))}
+	}
+	panic("selection: unknown kind")
+}
+
+type staticXY struct{}
+
+func (staticXY) Name() string { return "static-xy" }
+
+// Select returns the first eligible candidate: tables emit candidates in
+// dimension order, so this realizes the paper's X-first preference.
+func (staticXY) Select(_ PortView, rs flow.RouteSet, eligible uint8) int {
+	for i := 0; i < rs.Len(); i++ {
+		if eligible&(1<<i) != 0 {
+			return i
+		}
+	}
+	panic("selection: no eligible candidate")
+}
+
+// argBest scans eligible candidates and returns the index whose score is
+// strictly best under less; ties keep the earlier (dimension-order) index.
+func argBest(rs flow.RouteSet, eligible uint8, score func(i int) int64, lowerIsBetter bool) int {
+	best := -1
+	var bestScore int64
+	for i := 0; i < rs.Len(); i++ {
+		if eligible&(1<<i) == 0 {
+			continue
+		}
+		s := score(i)
+		if best < 0 || (lowerIsBetter && s < bestScore) || (!lowerIsBetter && s > bestScore) {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		panic("selection: no eligible candidate")
+	}
+	return best
+}
+
+type minMux struct{}
+
+func (minMux) Name() string { return "min-mux" }
+
+// Select picks the candidate whose physical channel multiplexes the fewest
+// active VCs (Duato's policy, section 4.1).
+func (minMux) Select(v PortView, rs flow.RouteSet, eligible uint8) int {
+	return argBest(rs, eligible, func(i int) int64 {
+		return int64(v.BusyVCs(rs.At(i).Port))
+	}, true)
+}
+
+type lfu struct{}
+
+func (lfu) Name() string { return "lfu" }
+
+// Select picks the candidate with the lowest cumulative usage count,
+// balancing link utilization over the run.
+func (lfu) Select(v PortView, rs flow.RouteSet, eligible uint8) int {
+	return argBest(rs, eligible, func(i int) int64 {
+		return int64(v.UseCount(rs.At(i).Port))
+	}, true)
+}
+
+type lru struct{}
+
+func (lru) Name() string { return "lru" }
+
+// Select picks the candidate used farthest in the past; recent history is
+// a better congestion signal than cumulative history.
+func (lru) Select(v PortView, rs flow.RouteSet, eligible uint8) int {
+	return argBest(rs, eligible, func(i int) int64 {
+		return v.LastUsed(rs.At(i).Port)
+	}, true)
+}
+
+type maxCredit struct{}
+
+func (maxCredit) Name() string { return "max-credit" }
+
+// Select picks the candidate whose physical channel holds the most
+// flow-control credits: plenty of downstream buffer space suggests low
+// congestion at the next router.
+func (maxCredit) Select(v PortView, rs flow.RouteSet, eligible uint8) int {
+	return argBest(rs, eligible, func(i int) int64 {
+		return int64(v.Credits(rs.At(i).Port))
+	}, false)
+}
+
+type random struct{ rng *rand.Rand }
+
+func (*random) Name() string { return "random" }
+
+// Select picks uniformly among the eligible candidates.
+func (r *random) Select(_ PortView, rs flow.RouteSet, eligible uint8) int {
+	var idx [flow.MaxCandidates]int
+	n := 0
+	for i := 0; i < rs.Len(); i++ {
+		if eligible&(1<<i) != 0 {
+			idx[n] = i
+			n++
+		}
+	}
+	if n == 0 {
+		panic("selection: no eligible candidate")
+	}
+	return idx[r.rng.Intn(n)]
+}

@@ -1,0 +1,160 @@
+package selection
+
+import (
+	"testing"
+
+	"lapses/internal/flow"
+	"lapses/internal/topology"
+)
+
+// fakeView is a scriptable PortView.
+type fakeView struct {
+	busy    map[topology.Port]int
+	credits map[topology.Port]int
+	use     map[topology.Port]uint64
+	last    map[topology.Port]int64
+}
+
+func (f *fakeView) BusyVCs(p topology.Port) int { return f.busy[p] }
+func (f *fakeView) Credits(p topology.Port) int { return f.credits[p] }
+func (f *fakeView) UseCount(p topology.Port) uint64 {
+	return f.use[p]
+}
+func (f *fakeView) LastUsed(p topology.Port) int64 {
+	if v, ok := f.last[p]; ok {
+		return v
+	}
+	return -1
+}
+
+func twoCands() flow.RouteSet {
+	var rs flow.RouteSet
+	rs.Add(flow.Candidate{Port: 1, Adaptive: 0b1110, Escape: 0b0001}) // +X
+	rs.Add(flow.Candidate{Port: 3, Adaptive: 0b1110})                 // +Y
+	return rs
+}
+
+func TestStaticXYPrefersFirst(t *testing.T) {
+	s := New(StaticXY, 0)
+	rs := twoCands()
+	if got := s.Select(nil, rs, 0b11); got != 0 {
+		t.Errorf("both eligible: got %d want 0", got)
+	}
+	if got := s.Select(nil, rs, 0b10); got != 1 {
+		t.Errorf("only Y eligible: got %d want 1", got)
+	}
+}
+
+func TestMinMux(t *testing.T) {
+	s := New(MinMux, 0)
+	v := &fakeView{busy: map[topology.Port]int{1: 3, 3: 1}}
+	if got := s.Select(v, twoCands(), 0b11); got != 1 {
+		t.Errorf("got %d want 1 (port 3 less multiplexed)", got)
+	}
+	// Tie prefers dimension order.
+	v.busy[3] = 3
+	if got := s.Select(v, twoCands(), 0b11); got != 0 {
+		t.Errorf("tie: got %d want 0", got)
+	}
+}
+
+func TestLFU(t *testing.T) {
+	s := New(LFU, 0)
+	v := &fakeView{use: map[topology.Port]uint64{1: 100, 3: 40}}
+	if got := s.Select(v, twoCands(), 0b11); got != 1 {
+		t.Errorf("got %d want 1 (port 3 less used)", got)
+	}
+	// Respect eligibility even when the other port scores better.
+	if got := s.Select(v, twoCands(), 0b01); got != 0 {
+		t.Errorf("got %d want 0 (only X eligible)", got)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	s := New(LRU, 0)
+	v := &fakeView{last: map[topology.Port]int64{1: 900, 3: 100}}
+	if got := s.Select(v, twoCands(), 0b11); got != 1 {
+		t.Errorf("got %d want 1 (port 3 older)", got)
+	}
+	// A never-used port (LastUsed -1) wins over any used port.
+	v2 := &fakeView{last: map[topology.Port]int64{1: 5}}
+	if got := s.Select(v2, twoCands(), 0b11); got != 1 {
+		t.Errorf("got %d want 1 (never used)", got)
+	}
+}
+
+func TestMaxCredit(t *testing.T) {
+	s := New(MaxCredit, 0)
+	v := &fakeView{credits: map[topology.Port]int{1: 10, 3: 70}}
+	if got := s.Select(v, twoCands(), 0b11); got != 1 {
+		t.Errorf("got %d want 1 (port 3 more credits)", got)
+	}
+	v.credits[3] = 10
+	if got := s.Select(v, twoCands(), 0b11); got != 0 {
+		t.Errorf("tie: got %d want 0", got)
+	}
+}
+
+func TestRandomIsEligibleAndCoversBoth(t *testing.T) {
+	s := New(Random, 42)
+	rs := twoCands()
+	seen := map[int]int{}
+	for i := 0; i < 200; i++ {
+		got := s.Select(nil, rs, 0b11)
+		if got != 0 && got != 1 {
+			t.Fatalf("out of range: %d", got)
+		}
+		seen[got]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Errorf("random never picked one side: %v", seen)
+	}
+	for i := 0; i < 50; i++ {
+		if got := s.Select(nil, rs, 0b10); got != 1 {
+			t.Fatalf("restricted random picked %d", got)
+		}
+	}
+}
+
+func TestRandomDeterministicForSeed(t *testing.T) {
+	a, b := New(Random, 7), New(Random, 7)
+	rs := twoCands()
+	for i := 0; i < 100; i++ {
+		if a.Select(nil, rs, 0b11) != b.Select(nil, rs, 0b11) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAllSelectorsRespectEligibility(t *testing.T) {
+	v := &fakeView{
+		busy:    map[topology.Port]int{1: 0, 3: 9},
+		credits: map[topology.Port]int{1: 99, 3: 0},
+		use:     map[topology.Port]uint64{1: 0, 3: 999},
+		last:    map[topology.Port]int64{1: -1, 3: 999},
+	}
+	rs := twoCands()
+	for _, k := range Kinds {
+		s := New(k, 1)
+		// Port 1 scores best on every metric, but only candidate 1
+		// (port 3) is eligible.
+		if got := s.Select(v, rs, 0b10); got != 1 {
+			t.Errorf("%s ignored eligibility: got %d", s.Name(), got)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: %v %v", k, got, err)
+		}
+		if New(k, 0).Name() != k.String() {
+			t.Errorf("selector name mismatch for %v", k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}

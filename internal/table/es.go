@@ -1,0 +1,215 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"lapses/internal/flow"
+	"lapses/internal/routing"
+	"lapses/internal/topology"
+)
+
+// ES is the paper's economical-storage routing table (section 5.2): a
+// 3^n-entry table for an n-dimensional mesh, indexed by the sign vector
+// (s_0, ..., s_{n-1}) of the destination's offset from the current router,
+// each s_d in {-,0,+}. Nine entries suffice for a 2-D mesh of any size,
+// 27 for 3-D. The router hardware needs only a node-id register and one
+// comparator per dimension to form the index.
+//
+// The table contents depend only on the sign vector for every mesh routing
+// algorithm the paper considers (XY, Duato, the turn models), so ES routing
+// behaves identically to full-table routing — a property the tests check
+// exhaustively.
+type ES struct {
+	m    *topology.Mesh
+	alg  routing.Algorithm
+	node topology.NodeID
+	// entries[datelineState][signIndex]
+	entries [][]flow.RouteSet
+	ndims   int
+}
+
+// NewES programs an economical-storage table for node from alg. It panics
+// if the algorithm is not sign-expressible at this node, i.e. two
+// destinations with the same offset signs would need different entries;
+// that would indicate the algorithm cannot be implemented in ES form (none
+// of the standard mesh algorithms trip this).
+func NewES(m *topology.Mesh, alg routing.Algorithm, node topology.NodeID) *ES {
+	states := 1
+	if m.Wrap() {
+		states = 1 << m.NumDims()
+	}
+	t := &ES{m: m, alg: alg, node: node, ndims: m.NumDims(), entries: make([][]flow.RouteSet, states)}
+	size := 1
+	for i := 0; i < t.ndims; i++ {
+		size *= 3
+	}
+	for dl := 0; dl < states; dl++ {
+		row := make([]flow.RouteSet, size)
+		programmed := make([]bool, size)
+		for dst := 0; dst < m.N(); dst++ {
+			idx := t.signIndex(topology.NodeID(dst))
+			rs := alg.Route(node, topology.NodeID(dst), uint8(dl))
+			if programmed[idx] {
+				if !row[idx].Equal(rs) {
+					panic(fmt.Sprintf("table: %s is not sign-expressible at node %d (index %d: %v vs %v)",
+						alg.Name(), node, idx, row[idx], rs))
+				}
+				continue
+			}
+			row[idx] = rs
+			programmed[idx] = true
+		}
+		// Edge and corner routers never locally realize some sign
+		// vectors (a corner has no destinations to its west), but the
+		// look-ahead lookup indexes the table with neighbor-relative
+		// signs and needs every entry. The table programmer fills them
+		// from the algorithm's sign rule using a representative pair
+		// realizing each sign vector (mesh algorithms are position-
+		// independent; a torus realizes every sign locally and never
+		// gets here).
+		for idx := 0; idx < size; idx++ {
+			if programmed[idx] {
+				continue
+			}
+			src, dst := t.representative(idx)
+			row[idx] = alg.Route(src, dst, uint8(dl))
+		}
+		t.entries[dl] = row
+	}
+	return t
+}
+
+// representative returns a (src, dst) node pair whose offset signs decode
+// to the given table index.
+func (t *ES) representative(idx int) (topology.NodeID, topology.NodeID) {
+	src := make(topology.Coord, t.ndims)
+	dst := make(topology.Coord, t.ndims)
+	for d := 0; d < t.ndims; d++ {
+		switch idx%3 - 1 {
+		case -1:
+			src[d], dst[d] = t.m.Radix(d)-1, 0
+		case 0:
+			src[d], dst[d] = 0, 0
+		case 1:
+			src[d], dst[d] = 0, t.m.Radix(d)-1
+		}
+		idx /= 3
+	}
+	return t.m.ID(src), t.m.ID(dst)
+}
+
+// signIndex computes the base-3 index of a destination's offset signs:
+// digit d is sign(dst_d - node_d) mapped {-1,0,+1} -> {0,1,2}, with
+// dimension 0 as the least significant digit. On a torus the signs are
+// wrap-aware (shorter direction).
+func (t *ES) signIndex(dst topology.NodeID) int {
+	idx := 0
+	for d := t.ndims - 1; d >= 0; d-- {
+		idx = idx*3 + t.m.OffsetSign(t.node, dst, d) + 1
+	}
+	return idx
+}
+
+// signIndexAt computes the sign index relative to an arbitrary node, used
+// for the look-ahead lookup (the hardware computes sign(dst - neighbor)
+// with one extra comparator per candidate).
+func (t *ES) signIndexAt(at topology.NodeID, dst topology.NodeID) int {
+	idx := 0
+	for d := t.ndims - 1; d >= 0; d-- {
+		idx = idx*3 + t.m.OffsetSign(at, dst, d) + 1
+	}
+	return idx
+}
+
+// Name implements Table.
+func (t *ES) Name() string { return "es" }
+
+// Node implements Table.
+func (t *ES) Node() topology.NodeID { return t.node }
+
+// Entries implements Table: 3^n entries regardless of network size.
+func (t *ES) Entries() int { return len(t.entries[0]) }
+
+// Lookup implements Table.
+func (t *ES) Lookup(dst topology.NodeID, dateline uint8) flow.RouteSet {
+	return t.entries[t.state(dateline)][t.signIndex(dst)]
+}
+
+func (t *ES) state(dateline uint8) int {
+	if len(t.entries) == 1 {
+		return 0
+	}
+	return int(dateline) % len(t.entries)
+}
+
+// LookupAt implements Table. ES table contents are identical at every
+// router for sign-expressible algorithms, so the look-ahead result is this
+// router's own table indexed by the neighbor-relative signs. This is how
+// the paper's technical report implements ES with look-ahead: no extra
+// storage, one extra comparator per dimension per candidate.
+func (t *ES) LookupAt(p topology.Port, dst topology.NodeID, dateline uint8) flow.RouteSet {
+	nb, ok := t.m.Neighbor(t.node, p)
+	if !ok {
+		panic("table: LookupAt through port without neighbor")
+	}
+	if t.m.Wrap() {
+		// Dateline-dependent masks are recomputed for the neighbor's
+		// position; delegate to the algorithm (comparator logic in
+		// hardware).
+		return t.alg.Route(nb, dst, dateline)
+	}
+	return t.entries[0][t.signIndexAt(nb, dst)]
+}
+
+// signRune renders one sign digit the way the paper's Fig. 7 does.
+func signRune(s int) byte {
+	switch {
+	case s < 0:
+		return '-'
+	case s > 0:
+		return '+'
+	}
+	return '0'
+}
+
+// Dump renders the programmed table in the style of the paper's Fig. 7(d):
+// one line per sign-vector entry with the candidate ports. Intended for
+// cmd/lapses-tables and documentation.
+func (t *ES) Dump() string {
+	var b strings.Builder
+	size := len(t.entries[0])
+	for idx := 0; idx < size; idx++ {
+		signs := make([]int, t.ndims)
+		v := idx
+		for d := 0; d < t.ndims; d++ {
+			signs[d] = v%3 - 1
+			v /= 3
+		}
+		var sb strings.Builder
+		for d := 0; d < t.ndims; d++ {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(signRune(signs[d]))
+		}
+		rs := t.entries[0][idx]
+		var ports []string
+		for i := 0; i < rs.Len(); i++ {
+			ports = append(ports, t.m.PortName(rs.At(i).Port))
+		}
+		fmt.Fprintf(&b, "(%s) -> %s\n", sb.String(), strings.Join(ports, ","))
+	}
+	return b.String()
+}
+
+// ESEntryCount returns 3^n, the economical-storage table size for an
+// n-dimensional network, without building a table (used by the Table 5
+// summary).
+func ESEntryCount(ndims int) int {
+	size := 1
+	for i := 0; i < ndims; i++ {
+		size *= 3
+	}
+	return size
+}

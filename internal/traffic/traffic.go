@@ -1,0 +1,269 @@
+// Package traffic generates the synthetic workloads of the LAPSES study:
+// the four paper patterns (uniform, transpose, bit-reversal, perfect
+// shuffle) plus standard extensions (bit-complement, tornado, hotspot,
+// nearest-neighbor), driven by a per-node Poisson process (exponential
+// inter-arrival times, Table 2).
+//
+// Loads are specified in the paper's normalized form: load 1.0 is the
+// per-node flit injection rate that saturates the network bisection under
+// uniform traffic (0.25 flits/node/cycle on the 16x16 mesh).
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"lapses/internal/topology"
+)
+
+// Pattern maps a source node to a destination for each generated message.
+type Pattern interface {
+	Name() string
+	// Dest returns the destination for a message from src, or false when
+	// the pattern sends nothing from this node (e.g. the diagonal of a
+	// transpose). rng is used only by randomized patterns.
+	Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool)
+}
+
+// Kind names a traffic pattern.
+type Kind int
+
+const (
+	// Uniform picks destinations uniformly among all other nodes.
+	Uniform Kind = iota
+	// Transpose sends (x, y) to (y, x); the diagonal is silent.
+	Transpose
+	// BitReversal sends node b_{n-1}...b_0 to b_0...b_{n-1}.
+	BitReversal
+	// Shuffle (perfect shuffle) rotates the node address left by one bit.
+	Shuffle
+	// BitComplement sends node b to ^b.
+	BitComplement
+	// Tornado sends k/2-1 hops around each dimension.
+	Tornado
+	// Hotspot sends a fraction of traffic to one hot node, the rest
+	// uniformly.
+	Hotspot
+	// Neighbor sends to the +X neighbor (edge nodes are silent).
+	Neighbor
+)
+
+// Kinds lists all patterns; the first four are the paper's.
+var Kinds = []Kind{Uniform, Transpose, BitReversal, Shuffle, BitComplement, Tornado, Hotspot, Neighbor}
+
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case BitReversal:
+		return "bit-reversal"
+	case Shuffle:
+		return "shuffle"
+	case BitComplement:
+		return "bit-complement"
+	case Tornado:
+		return "tornado"
+	case Hotspot:
+		return "hotspot"
+	case Neighbor:
+		return "neighbor"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a pattern name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("traffic: unknown pattern %q", s)
+}
+
+// New builds a pattern for the given topology. Permutation patterns
+// requiring power-of-two node counts (bit-reversal, shuffle, complement)
+// panic on other sizes, as in the literature they are defined over address
+// bits.
+func New(k Kind, m *topology.Mesh) Pattern {
+	switch k {
+	case Uniform:
+		return uniform{n: m.N()}
+	case Transpose:
+		return transpose{m: m}
+	case BitReversal:
+		return bitPattern{n: m.N(), name: "bit-reversal", f: reverseBits}
+	case Shuffle:
+		return bitPattern{n: m.N(), name: "shuffle", f: shuffleBits}
+	case BitComplement:
+		return bitPattern{n: m.N(), name: "bit-complement", f: complementBits}
+	case Tornado:
+		return tornado{m: m}
+	case Hotspot:
+		return hotspot{n: m.N(), hot: topology.NodeID(m.N() / 2), frac: 0.1}
+	case Neighbor:
+		return neighbor{m: m}
+	}
+	panic("traffic: unknown kind")
+}
+
+type uniform struct{ n int }
+
+func (uniform) Name() string { return "uniform" }
+
+func (u uniform) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool) {
+	d := topology.NodeID(rng.Intn(u.n - 1))
+	if d >= src {
+		d++
+	}
+	return d, true
+}
+
+type transpose struct{ m *topology.Mesh }
+
+func (transpose) Name() string { return "transpose" }
+
+func (t transpose) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	if t.m.NumDims() != 2 {
+		panic("traffic: transpose requires 2 dimensions")
+	}
+	x, y := t.m.CoordAxis(src, 0), t.m.CoordAxis(src, 1)
+	if x == y {
+		return src, false
+	}
+	// Transpose mirrors coordinates; scale when radices differ.
+	if t.m.Radix(0) != t.m.Radix(1) {
+		panic("traffic: transpose requires a square mesh")
+	}
+	return t.m.ID(topology.Coord{y, x}), true
+}
+
+// bitPattern is a permutation over the bits of the node address.
+type bitPattern struct {
+	n    int
+	name string
+	f    func(v, bits int) int
+}
+
+func (p bitPattern) Name() string { return p.name }
+
+func (p bitPattern) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	w := bits.Len(uint(p.n - 1))
+	if p.n&(p.n-1) != 0 {
+		panic(fmt.Sprintf("traffic: %s requires a power-of-two node count, got %d", p.name, p.n))
+	}
+	d := topology.NodeID(p.f(int(src), w))
+	if d == src {
+		return src, false
+	}
+	return d, true
+}
+
+func reverseBits(v, w int) int {
+	out := 0
+	for i := 0; i < w; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}
+
+func shuffleBits(v, w int) int {
+	return (v<<1 | v>>(w-1)) & (1<<w - 1)
+}
+
+func complementBits(v, w int) int {
+	return ^v & (1<<w - 1)
+}
+
+type tornado struct{ m *topology.Mesh }
+
+func (tornado) Name() string { return "tornado" }
+
+func (t tornado) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	c := t.m.CoordOf(src)
+	for d := 0; d < t.m.NumDims(); d++ {
+		k := t.m.Radix(d)
+		c[d] = (c[d] + (k+1)/2 - 1) % k
+	}
+	dst := t.m.ID(c)
+	if dst == src {
+		return src, false
+	}
+	return dst, true
+}
+
+type hotspot struct {
+	n    int
+	hot  topology.NodeID
+	frac float64
+}
+
+func (hotspot) Name() string { return "hotspot" }
+
+func (h hotspot) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool) {
+	if src != h.hot && rng.Float64() < h.frac {
+		return h.hot, true
+	}
+	d := topology.NodeID(rng.Intn(h.n - 1))
+	if d >= src {
+		d++
+	}
+	return d, true
+}
+
+type neighbor struct{ m *topology.Mesh }
+
+func (neighbor) Name() string { return "neighbor" }
+
+func (nb neighbor) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, bool) {
+	d, ok := nb.m.Neighbor(src, topology.PortPlus(0))
+	if !ok {
+		return src, false
+	}
+	return d, true
+}
+
+// Injector drives one node's Poisson message-generation process.
+type Injector struct {
+	rate float64 // messages per cycle
+	rng  *rand.Rand
+	next float64
+}
+
+// NewInjector returns an injector generating messages at the given rate
+// (messages/cycle) with exponential inter-arrival times. A rate of zero
+// never fires.
+func NewInjector(rate float64, seed int64) *Injector {
+	inj := &Injector{rate: rate, rng: rand.New(rand.NewSource(seed))}
+	if rate > 0 {
+		inj.next = inj.rng.ExpFloat64() / rate
+	}
+	return inj
+}
+
+// RNG exposes the injector's random stream for destination draws so one
+// node's process stays a single deterministic stream.
+func (inj *Injector) RNG() *rand.Rand { return inj.rng }
+
+// Due reports how many messages fire at cycle now, advancing the process.
+func (inj *Injector) Due(now int64) int {
+	if inj.rate <= 0 {
+		return 0
+	}
+	n := 0
+	for inj.next < float64(now+1) {
+		n++
+		inj.next += inj.rng.ExpFloat64() / inj.rate
+	}
+	return n
+}
+
+// MessageRate converts a normalized load into messages/cycle/node for the
+// given topology and message length: load 1.0 saturates the bisection
+// under uniform traffic.
+func MessageRate(m *topology.Mesh, load float64, msgLen int) float64 {
+	return load * m.SaturationInjectionRate() / float64(msgLen)
+}

@@ -1,0 +1,201 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lapses/internal/topology"
+)
+
+func TestUniformExcludesSelfAndCoversAll(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	p := New(Uniform, m)
+	rng := rand.New(rand.NewSource(1))
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 5000; i++ {
+		d, ok := p.Dest(5, rng)
+		if !ok {
+			t.Fatal("uniform must always send")
+		}
+		if d == 5 {
+			t.Fatal("uniform sent to self")
+		}
+		seen[d] = true
+	}
+	if len(seen) != 15 {
+		t.Errorf("uniform covered %d destinations, want 15", len(seen))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	p := New(Transpose, m)
+	d, ok := p.Dest(m.ID(topology.Coord{3, 7}), nil)
+	if !ok || d != m.ID(topology.Coord{7, 3}) {
+		t.Errorf("transpose(3,7) = %d,%v", d, ok)
+	}
+	if _, ok := p.Dest(m.ID(topology.Coord{5, 5}), nil); ok {
+		t.Error("diagonal node should be silent")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	p := New(BitReversal, m)
+	// Node 1 = 00000001b reverses to 10000000b = 128.
+	d, ok := p.Dest(1, nil)
+	if !ok || d != 128 {
+		t.Errorf("bitrev(1) = %d,%v want 128", d, ok)
+	}
+	// Palindromic addresses are silent.
+	if _, ok := p.Dest(0, nil); ok {
+		t.Error("bitrev(0) should be silent")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	p := New(Shuffle, m)
+	// 10000000b -> 00000001b.
+	d, ok := p.Dest(128, nil)
+	if !ok || d != 1 {
+		t.Errorf("shuffle(128) = %d,%v want 1", d, ok)
+	}
+	d, ok = p.Dest(3, nil)
+	if !ok || d != 6 {
+		t.Errorf("shuffle(3) = %d,%v want 6", d, ok)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	p := New(BitComplement, m)
+	d, ok := p.Dest(0, nil)
+	if !ok || d != 255 {
+		t.Errorf("complement(0) = %d,%v want 255", d, ok)
+	}
+}
+
+func TestTornado(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	p := New(Tornado, m)
+	d, ok := p.Dest(m.ID(topology.Coord{0, 0}), nil)
+	if !ok || d != m.ID(topology.Coord{3, 3}) {
+		t.Errorf("tornado(0,0) = %d,%v want (3,3)", d, ok)
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	p := New(Hotspot, m)
+	rng := rand.New(rand.NewSource(2))
+	hot := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d, ok := p.Dest(3, rng)
+		if !ok {
+			t.Fatal("hotspot must always send")
+		}
+		if d == 32 {
+			hot++
+		}
+	}
+	frac := float64(hot) / trials
+	// 10% direct + uniform share.
+	if frac < 0.08 || frac > 0.16 {
+		t.Errorf("hotspot fraction = %v", frac)
+	}
+}
+
+func TestNeighborEdgeSilent(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	p := New(Neighbor, m)
+	if _, ok := p.Dest(3, nil); ok {
+		t.Error("east-edge node should be silent")
+	}
+	d, ok := p.Dest(0, nil)
+	if !ok || d != 1 {
+		t.Errorf("neighbor(0) = %d,%v want 1", d, ok)
+	}
+}
+
+func TestPermutationsAreBijections(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	for _, k := range []Kind{Transpose, BitReversal, Shuffle, BitComplement} {
+		p := New(k, m)
+		seen := map[topology.NodeID]bool{}
+		for src := topology.NodeID(0); int(src) < m.N(); src++ {
+			d, ok := p.Dest(src, nil)
+			if !ok {
+				continue
+			}
+			if seen[d] {
+				t.Errorf("%s: destination %d hit twice", p.Name(), d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestInjectorRate(t *testing.T) {
+	inj := NewInjector(0.05, 42)
+	total := 0
+	const cycles = 200000
+	for c := int64(0); c < cycles; c++ {
+		total += inj.Due(c)
+	}
+	got := float64(total) / cycles
+	if math.Abs(got-0.05) > 0.002 {
+		t.Errorf("measured rate %v want 0.05", got)
+	}
+}
+
+func TestInjectorZeroRate(t *testing.T) {
+	inj := NewInjector(0, 1)
+	for c := int64(0); c < 1000; c++ {
+		if inj.Due(c) != 0 {
+			t.Fatal("zero-rate injector fired")
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	a, b := NewInjector(0.1, 7), NewInjector(0.1, 7)
+	for c := int64(0); c < 5000; c++ {
+		if a.Due(c) != b.Due(c) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMessageRate(t *testing.T) {
+	m := topology.NewMesh(16, 16)
+	// Load 1.0, 20-flit messages: 0.25/20 = 0.0125 msgs/cycle/node.
+	if r := MessageRate(m, 1.0, 20); math.Abs(r-0.0125) > 1e-12 {
+		t.Errorf("MessageRate = %v want 0.0125", r)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v failed", k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBitPatternRequiresPow2(t *testing.T) {
+	m := topology.NewMesh(3, 3)
+	p := New(BitReversal, m)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two network")
+		}
+	}()
+	p.Dest(1, nil)
+}
