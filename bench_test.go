@@ -8,12 +8,14 @@
 package lapses_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"lapses/internal/core"
 	"lapses/internal/routing"
 	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/table"
 	"lapses/internal/topology"
 	"lapses/internal/traffic"
@@ -172,6 +174,73 @@ func BenchmarkTable5(b *testing.B) {
 				tbl.LookupAt(topology.PortPlus(0), dsts[i&63], 0)
 			}
 		})
+	}
+}
+
+// BenchmarkSweepParallelism runs a fixed 16-point grid through the sweep
+// engine at increasing worker counts. Points are independent simulations,
+// so ns/op should fall near-linearly with workers until GOMAXPROCS (or
+// memory bandwidth) saturates — compare the workers=1 and workers=N lines.
+func BenchmarkSweepParallelism(b *testing.B) {
+	var grid []core.Config
+	for _, pat := range []traffic.Kind{traffic.Uniform, traffic.Transpose} {
+		for _, load := range []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.1, 0.2} {
+			c := core.DefaultConfig()
+			c.Dims = []int{8, 8}
+			c.Selection = selection.StaticXY
+			c.Pattern = pat
+			c.Load = load
+			c.Warmup, c.Measure = 100, 1000
+			c.Seed = 7
+			grid = append(grid, c)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs, err := sweep.Run(context.Background(), grid, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(grid)), "points/op")
+		})
+	}
+}
+
+// BenchmarkSweepMemoCache measures the same grid with every point
+// duplicated and a memo cache attached: the duplicates must cost lookups,
+// not simulations.
+func BenchmarkSweepMemoCache(b *testing.B) {
+	var grid []core.Config
+	for _, load := range []float64{0.1, 0.2, 0.3} {
+		c := core.DefaultConfig()
+		c.Dims = []int{8, 8}
+		c.Selection = selection.StaticXY
+		c.Load = load
+		c.Warmup, c.Measure = 100, 1000
+		c.Seed = 7
+		grid = append(grid, c, c) // duplicated point
+	}
+	for i := 0; i < b.N; i++ {
+		cache := sweep.NewCache()
+		outs, err := sweep.Run(context.Background(), grid, sweep.Options{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+		if cache.Misses() != int64(len(grid)/2) {
+			b.Fatalf("misses = %d want %d", cache.Misses(), len(grid)/2)
+		}
 	}
 }
 

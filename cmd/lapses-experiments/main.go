@@ -1,28 +1,40 @@
 // Command lapses-experiments regenerates the tables and figures of the
-// LAPSES paper's evaluation section.
+// LAPSES paper's evaluation.
 //
 //	lapses-experiments -exp table3                 # one experiment
 //	lapses-experiments -exp all -fidelity quick    # everything, fast
 //	lapses-experiments -exp fig6 -fidelity paper   # 400k-message fidelity
+//	lapses-experiments -exp all -workers 16        # widen the sweep pool
+//
+// Experiment grids execute through the concurrent internal/sweep engine:
+// -workers bounds the pool (default GOMAXPROCS), and a memo cache shared
+// across experiments makes points that recur between figures — e.g.
+// Fig. 5's LA-ADAPT baseline, which is also Fig. 6's STATIC-XY series —
+// simulate exactly once. Interrupting (Ctrl-C) cancels cleanly at the
+// next point boundary.
 //
 // Output is the paper's row/series format; see EXPERIMENTS.md for the
 // committed paper-vs-measured comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
 	"lapses/internal/experiments"
+	"lapses/internal/sweep"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, table3, fig6, table4, table5, or all")
 	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for plottable experiments")
 	flag.Parse()
 
@@ -30,13 +42,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := experiments.Runner{
+		Fidelity: f,
+		Seed:     *seed,
+		Workers:  *workers,
+		Cache:    sweep.NewCache(),
+	}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()
 	}
 	for _, name := range names {
 		start := time.Now()
-		if err := experiments.RunByName(os.Stdout, name, f, *seed); err != nil {
+		if err := runner.RunByName(ctx, os.Stdout, name); err != nil {
 			fatal(err)
 		}
 		if *csvDir != "" && hasCSV(name) {
@@ -45,7 +66,8 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := experiments.WriteCSVByName(file, name, f, *seed); err != nil {
+			// The CSV pass replays the grid out of the shared cache.
+			if err := runner.WriteCSV(ctx, file, name); err != nil {
 				file.Close()
 				fatal(err)
 			}
@@ -55,6 +77,9 @@ func main() {
 			fmt.Printf("[csv written to %s]\n", path)
 		}
 		fmt.Printf("\n[%s done in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+	if h, m := runner.Cache.Hits(), runner.Cache.Misses(); h > 0 {
+		fmt.Printf("[memo cache: %d simulated, %d reused]\n", m, h)
 	}
 }
 

@@ -5,26 +5,47 @@
 //	lapses-tables -alg duato   # the same node programmed for Duato routing
 //	lapses-tables -meta        # Fig. 8: both meta-table mappings on 16x16
 //	lapses-tables -interval    # interval table (YX) for a node on 8x8
+//	lapses-tables -verify      # sweep: ES results identical to full-table
+//
+// -verify runs a quick (pattern x load) grid through the concurrent
+// internal/sweep engine, simulating each point under both the full
+// routing table and economical storage and checking the results are
+// bit-identical — the equivalence Table 4 reports. -workers bounds the
+// sweep's worker pool (0 = GOMAXPROCS).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"lapses/internal/core"
 	"lapses/internal/routing"
+	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/table"
 	"lapses/internal/topology"
+	"lapses/internal/traffic"
 )
 
 func main() {
 	algName := flag.String("alg", "north-last", "algorithm to program: xy, yx, duato, north-last, west-first, negative-first")
 	meta := flag.Bool("meta", false, "print the Fig. 8 meta-table mappings instead")
 	interval := flag.Bool("interval", false, "print an interval table instead")
+	verify := flag.Bool("verify", false, "sweep-check that ES tables route identically to full tables")
+	workers := flag.Int("workers", 0, "concurrent simulations for -verify (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cls := routing.Class{NumVCs: 4, EscapeVCs: 1}
+
+	if *verify {
+		if err := verifyES(*workers); err != nil {
+			fmt.Fprintln(os.Stderr, "lapses-tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *meta {
 		m := topology.NewMesh(16, 16)
@@ -79,4 +100,53 @@ func main() {
 	fmt.Printf("Fig. 7: economical-storage table at node (1,1) of a 3x3 mesh, %s routing\n", alg.Name())
 	fmt.Printf("(sign of destination offset (sx,sy) -> permitted output ports; %d entries)\n\n", es.Entries())
 	fmt.Print(es.Dump())
+}
+
+// verifyES sweeps a quick (pattern x load) grid, each point once with the
+// full routing table and once with economical storage, and checks the
+// Results are bit-identical — the paper's Table 4 claim.
+func verifyES(workers int) error {
+	patterns := []traffic.Kind{traffic.Uniform, traffic.Transpose, traffic.BitReversal}
+	loads := []float64{0.1, 0.2, 0.3}
+	var grid []core.Config
+	for _, pat := range patterns {
+		for _, load := range loads {
+			for _, tk := range []table.Kind{table.KindFull, table.KindES} {
+				c := core.DefaultConfig().QuickFidelity()
+				c.Selection = selection.StaticXY
+				c.Pattern = pat
+				c.Load = load
+				c.Table = tk
+				grid = append(grid, c)
+			}
+		}
+	}
+	outs, err := sweep.Run(context.Background(), grid, sweep.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ES-vs-full-table equivalence, %d points, quick fidelity:\n", len(grid)/2)
+	fmt.Printf("%-13s %-5s %12s %12s  %s\n", "Traffic", "Load", "Full-Tbl", "Econ-Stor", "identical")
+	bad := 0
+	for i := 0; i < len(outs); i += 2 {
+		full, es := outs[i], outs[i+1]
+		if full.Err != nil {
+			return full.Err
+		}
+		if es.Err != nil {
+			return es.Err
+		}
+		same := full.Result == es.Result
+		if !same {
+			bad++
+		}
+		fmt.Printf("%-13s %-5.1f %12s %12s  %v\n",
+			full.Config.Pattern, full.Config.Load,
+			full.Result.LatencyString(), es.Result.LatencyString(), same)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d points diverged between full table and ES", bad)
+	}
+	fmt.Println("all points identical")
+	return nil
 }

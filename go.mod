@@ -1,0 +1,3 @@
+module lapses
+
+go 1.24

@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"lapses/internal/network"
 	"lapses/internal/router"
@@ -176,6 +178,25 @@ func (c Config) QuickFidelity() Config {
 
 // Mesh materializes the topology.
 func (c Config) Mesh() *topology.Mesh { return topology.New(c.Torus, c.Dims...) }
+
+// Key returns a string that identifies the configuration exactly: two
+// configs with equal keys produce bit-identical Results from Run. It is
+// the memo-cache key used by internal/sweep. Floats are keyed by their
+// bit patterns, so no two distinct loads ever collide; a Trace is keyed
+// by pointer identity, which is stable within a process (the scope of the
+// in-memory cache).
+func (c Config) Key() string {
+	var b strings.Builder
+	b.Grow(96)
+	fmt.Fprintf(&b, "d%v", c.Dims)
+	fmt.Fprintf(&b, ",t%t,v%d,e%d,b%d,o%d,l%d,la%t,ct%t,a%d,tb%d,s%d,p%d",
+		c.Torus, c.VCs, c.EscapeVCs, c.BufDepth, c.OutDepth, c.LinkDelay,
+		c.LookAhead, c.CutThrough, int(c.Algorithm), int(c.Table), int(c.Selection), int(c.Pattern))
+	fmt.Fprintf(&b, ",ld%x,ml%d,tr%p,w%d,m%d,mc%d,sl%x,sd%d",
+		math.Float64bits(c.Load), c.MsgLen, c.Trace,
+		c.Warmup, c.Measure, c.MaxCycles, math.Float64bits(c.SatLatency), c.Seed)
+	return b.String()
+}
 
 // class returns the VC partition. Deterministic and turn-model algorithms
 // are deadlock-free without escape channels.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"lapses/internal/selection"
@@ -112,6 +113,9 @@ func TestMatrixOfConfigurations(t *testing.T) {
 				c.Selection = sk
 				c.Load = 0.15
 				c.Warmup, c.Measure = 50, 500
+				if testing.Short() {
+					c.Warmup, c.Measure = 30, 120
+				}
 				res, err := Run(c)
 				if err != nil {
 					t.Fatalf("%v/%v/%v: %v", a, tk, sk, err)
@@ -209,5 +213,59 @@ func TestPercentilesPopulated(t *testing.T) {
 	// for this mild load.
 	if res.P50 < res.AvgLatency*0.5 || res.P50 > res.AvgLatency*1.5 {
 		t.Errorf("median %v implausible vs mean %v", res.P50, res.AvgLatency)
+	}
+}
+
+func TestConfigKey(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	if a.Key() != b.Key() {
+		t.Fatalf("identical configs disagree:\n%s\n%s", a.Key(), b.Key())
+	}
+	// Every field that feeds the simulation must perturb the key.
+	perturb := []func(*Config){
+		func(c *Config) { c.Dims = []int{8, 8} },
+		func(c *Config) { c.Torus = true },
+		func(c *Config) { c.VCs = 8 },
+		func(c *Config) { c.EscapeVCs = 2 },
+		func(c *Config) { c.BufDepth = 10 },
+		func(c *Config) { c.OutDepth = 2 },
+		func(c *Config) { c.LinkDelay = 2 },
+		func(c *Config) { c.LookAhead = false },
+		func(c *Config) { c.CutThrough = true },
+		func(c *Config) { c.Algorithm = AlgXY },
+		func(c *Config) { c.Table = table.KindFull },
+		func(c *Config) { c.Selection = selection.MaxCredit },
+		func(c *Config) { c.Pattern = traffic.Shuffle },
+		func(c *Config) { c.Load = 0.25 },
+		func(c *Config) { c.MsgLen = 5 },
+		func(c *Config) { c.Trace = &traffic.Trace{} },
+		func(c *Config) { c.Warmup = 1 },
+		func(c *Config) { c.Measure = 7 },
+		func(c *Config) { c.MaxCycles = 9 },
+		func(c *Config) { c.SatLatency = 1234 },
+		func(c *Config) { c.Seed = 42 },
+	}
+	// Every field of Config must have a perturbation above: a field
+	// added without extending Key would silently alias memo-cache
+	// entries in internal/sweep.
+	if n := reflect.TypeOf(Config{}).NumField(); n != len(perturb) {
+		t.Fatalf("Config has %d fields but TestConfigKey perturbs %d: extend Key() and this list", n, len(perturb))
+	}
+	seen := map[string]int{a.Key(): -1}
+	for i, mut := range perturb {
+		c := DefaultConfig()
+		mut(&c)
+		if prev, dup := seen[c.Key()]; dup {
+			t.Errorf("perturbation %d collides with %d: %s", i, prev, c.Key())
+		}
+		seen[c.Key()] = i
+	}
+	// Loads that differ only in the last bit must not collide.
+	c1, c2 := DefaultConfig(), DefaultConfig()
+	c1.Load = 0.1
+	c2.Load = 0.1 + 1e-17
+	if c2.Load != c1.Load && c1.Key() == c2.Key() {
+		t.Error("distinct float loads collide")
 	}
 }

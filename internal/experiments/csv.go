@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -129,18 +130,42 @@ func Table4CSV(w io.Writer, rows []Table4Row) error {
 	return cw.Error()
 }
 
-// WriteCSVByName runs an experiment and writes its CSV form; table5 and
-// the reference tables have no CSV representation.
-func WriteCSVByName(w io.Writer, name string, f Fidelity, seed int64) error {
+// WriteCSV runs an experiment through the sweep engine and writes its CSV
+// form; table5 and the reference tables have no CSV representation. With
+// a shared Runner.Cache the render and CSV passes of the same experiment
+// simulate their grid only once.
+func (r Runner) WriteCSV(ctx context.Context, w io.Writer, name string) error {
 	switch name {
 	case "fig5":
-		return Fig5CSV(w, Fig5(f, seed))
+		rows, err := r.Fig5(ctx)
+		if err != nil {
+			return err
+		}
+		return Fig5CSV(w, rows)
 	case "table3":
-		return Table3CSV(w, Table3(f, seed))
+		rows, err := r.Table3(ctx)
+		if err != nil {
+			return err
+		}
+		return Table3CSV(w, rows)
 	case "fig6":
-		return Fig6CSV(w, Fig6(f, seed))
+		rows, err := r.Fig6(ctx)
+		if err != nil {
+			return err
+		}
+		return Fig6CSV(w, rows)
 	case "table4":
-		return Table4CSV(w, Table4(f, seed))
+		rows, err := r.Table4(ctx)
+		if err != nil {
+			return err
+		}
+		return Table4CSV(w, rows)
 	}
 	return fmt.Errorf("experiments: no CSV form for %q", name)
+}
+
+// WriteCSVByName writes an experiment's CSV with default workers; see
+// Runner for worker-pool and cache control.
+func WriteCSVByName(w io.Writer, name string, f Fidelity, seed int64) error {
+	return Runner{Fidelity: f, Seed: seed}.WriteCSV(context.Background(), w, name)
 }

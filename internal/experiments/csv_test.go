@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 )
 
 func TestTable3CSV(t *testing.T) {
+	t.Parallel()
 	rows := []Table3Row{
 		{MsgLen: 5, LookAhead: core.Result{AvgLatency: 50}, NoLookAhd: core.Result{AvgLatency: 60}},
 		{MsgLen: 20, LookAhead: core.Result{AvgLatency: 75}, NoLookAhd: core.Result{Saturated: true}},
@@ -37,6 +39,7 @@ func TestTable3CSV(t *testing.T) {
 }
 
 func TestFig6CSV(t *testing.T) {
+	t.Parallel()
 	// Synthetic row: no need to run the sweep to test serialization.
 	row := Fig6Row{Pattern: traffic.Uniform, Load: 0.5, ByPSH: map[selection.Kind]core.Result{}}
 	for i, psh := range Fig6PSHs {
@@ -59,6 +62,7 @@ func TestFig6CSV(t *testing.T) {
 }
 
 func TestFig5AndTable4CSV(t *testing.T) {
+	t.Parallel()
 	f5 := []Fig5Row{{
 		Pattern: traffic.Transpose, Load: 0.3,
 		NoLADet:   core.Result{Saturated: true},
@@ -90,14 +94,23 @@ func TestFig5AndTable4CSV(t *testing.T) {
 }
 
 func TestWriteCSVByNameErrors(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
-	if err := WriteCSVByName(&buf, "table5", Quick, 1); err == nil {
+	r := fakeRunner()
+	if err := r.WriteCSV(context.Background(), &buf, "table5"); err == nil {
 		t.Error("table5 should have no CSV form")
 	}
-	if err := WriteCSVByName(&buf, "table3", Quick, 1); err != nil {
-		t.Error(err)
+	for _, name := range []string{"fig5", "table3", "fig6", "table4"} {
+		buf.Reset()
+		if err := r.WriteCSV(context.Background(), &buf, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if recs, err := csv.NewReader(&buf).ReadAll(); err != nil || len(recs) < 2 {
+			t.Errorf("%s: csv = %d records, err %v", name, len(recs), err)
+		}
 	}
-	if !strings.Contains(buf.String(), "msg_len") {
-		t.Error("missing CSV header")
+	// The package-level wrapper shares the no-CSV error path.
+	if err := WriteCSVByName(&buf, "nope", Quick, 1); err == nil {
+		t.Error("expected error for unknown experiment")
 	}
 }

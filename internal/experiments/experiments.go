@@ -2,12 +2,16 @@
 // paper's evaluation: Fig. 5 (look-ahead and adaptivity vs load), Table 3
 // (message-length sensitivity of look-ahead), Fig. 6 (path-selection
 // heuristics), Table 4 (table-storage schemes) and Table 5 (storage
-// summary). Each experiment returns structured rows and renders itself in
-// the paper's format, so paper-vs-measured comparisons in EXPERIMENTS.md
-// are mechanical.
+// summary). Each experiment declares its grid as data — an ordered list
+// of core.Config points — and executes it through the concurrent
+// internal/sweep engine, so sweeps scale with GOMAXPROCS (or an explicit
+// Runner.Workers) and shared baselines memoize through Runner.Cache.
+// Results render in the paper's format, so paper-vs-measured comparisons
+// in EXPERIMENTS.md are mechanical.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +19,7 @@ import (
 
 	"lapses/internal/core"
 	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/table"
 	"lapses/internal/traffic"
 )
@@ -47,7 +52,7 @@ func ParseFidelity(s string) (Fidelity, error) {
 func (f Fidelity) apply(c core.Config) core.Config {
 	switch f {
 	case Quick:
-		c.Warmup, c.Measure = 300, 4000
+		c.Warmup, c.Measure = 300, 3000
 	case Default:
 		c.Warmup, c.Measure = 2000, 30000
 	case Paper:
@@ -56,23 +61,63 @@ func (f Fidelity) apply(c core.Config) core.Config {
 	return c
 }
 
-// base returns the shared 16x16 configuration (Table 2) used by all
-// experiments.
-func base(f Fidelity) core.Config {
-	c := core.DefaultConfig()
-	c.Selection = selection.StaticXY
-	c = f.apply(c)
-	return c
+// Runner carries the execution options shared by every experiment sweep:
+// sample fidelity, the random seed, worker-pool width and an optional
+// memo cache. The zero Workers uses GOMAXPROCS; a non-nil Cache shared
+// across experiments makes points that recur between figures (e.g.
+// Fig. 5's LA-ADAPT baseline, which is also Fig. 6's STATIC-XY series)
+// simulate exactly once.
+type Runner struct {
+	Fidelity Fidelity
+	Seed     int64
+	Workers  int
+	Cache    *sweep.Cache
+
+	// run replaces core.Run in tests of the grid plumbing; nil means the
+	// real simulator.
+	run func(core.Config) (core.Result, error)
 }
 
-// mustRun runs a configuration, panicking on configuration errors (the
-// harness builds only valid configurations).
-func mustRun(c core.Config) core.Result {
-	r, err := core.Run(c)
+func (r Runner) opts() sweep.Options {
+	return sweep.Options{Workers: r.Workers, Cache: r.Cache, Runner: r.run}
+}
+
+// base returns the shared 16x16 configuration (Table 2) used by all
+// experiments.
+func (r Runner) base() core.Config {
+	c := core.DefaultConfig()
+	c.Selection = selection.StaticXY
+	c.Seed = r.Seed
+	return r.Fidelity.apply(c)
+}
+
+// grid is an experiment sweep declared as data: the ordered configs plus,
+// per point, the row slot its result scatters into.
+type grid struct {
+	cfgs  []core.Config
+	sinks []func(core.Result)
+}
+
+func (g *grid) add(c core.Config, sink func(core.Result)) {
+	g.cfgs = append(g.cfgs, c)
+	g.sinks = append(g.sinks, sink)
+}
+
+// run sweeps the grid and scatters results in grid order. The first point
+// error aborts (a config error means the harness built a bad grid).
+func (g *grid) run(ctx context.Context, opt sweep.Options) error {
+	outs, err := sweep.Run(ctx, g.cfgs, opt)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	return r
+	for i, o := range outs {
+		if o.Err != nil {
+			c := g.cfgs[i]
+			return fmt.Errorf("experiments: point %d (%s load %.2f): %w", i, c.Pattern, c.Load, o.Err)
+		}
+		g.sinks[i](o.Result)
+	}
+	return nil
 }
 
 // patternLoads returns the load sweep the paper plots per pattern: dense
@@ -104,42 +149,46 @@ type Fig5Row struct {
 	NoLADet, NoLAAdapt, LADet, LAAdapt core.Result
 }
 
+// fig5Archs is the architecture axis of Fig. 5, in column order (the
+// column headers live in RenderFig5).
+var fig5Archs = []struct {
+	LA   bool
+	Alg  core.Alg
+	Slot func(*Fig5Row) *core.Result
+}{
+	{false, core.AlgXY, func(r *Fig5Row) *core.Result { return &r.NoLADet }},
+	{false, core.AlgDuato, func(r *Fig5Row) *core.Result { return &r.NoLAAdapt }},
+	{true, core.AlgXY, func(r *Fig5Row) *core.Result { return &r.LADet }},
+	{true, core.AlgDuato, func(r *Fig5Row) *core.Result { return &r.LAAdapt }},
+}
+
 // Fig5 runs the four-architecture comparison (deterministic/adaptive with
 // and without look-ahead, static-XY selection) over the paper's load
 // sweeps for all four traffic patterns.
-func Fig5(f Fidelity, seed int64) []Fig5Row {
+func (r Runner) Fig5(ctx context.Context) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, pat := range PaperPatterns {
 		for _, load := range patternLoads(pat) {
-			row := Fig5Row{Pattern: pat, Load: load}
-			for i, arch := range []struct {
-				la  bool
-				alg core.Alg
-			}{
-				{false, core.AlgXY}, {false, core.AlgDuato}, {true, core.AlgXY}, {true, core.AlgDuato},
-			} {
-				c := base(f)
-				c.LookAhead = arch.la
-				c.Algorithm = arch.alg
-				c.Pattern = pat
-				c.Load = load
-				c.Seed = seed
-				res := mustRun(c)
-				switch i {
-				case 0:
-					row.NoLADet = res
-				case 1:
-					row.NoLAAdapt = res
-				case 2:
-					row.LADet = res
-				case 3:
-					row.LAAdapt = res
-				}
-			}
-			rows = append(rows, row)
+			rows = append(rows, Fig5Row{Pattern: pat, Load: load})
 		}
 	}
-	return rows
+	var g grid
+	for i := range rows {
+		row := &rows[i]
+		for _, arch := range fig5Archs {
+			c := r.base()
+			c.LookAhead = arch.LA
+			c.Algorithm = arch.Alg
+			c.Pattern = row.Pattern
+			c.Load = row.Load
+			slot := arch.Slot(row)
+			g.add(c, func(res core.Result) { *slot = res })
+		}
+	}
+	if err := g.run(ctx, r.opts()); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // pctOver returns the percentage latency increase of r over baseline, the
@@ -190,23 +239,34 @@ func (r Table3Row) Improvement() float64 {
 	return 100 * (r.NoLookAhd.AvgLatency - r.LookAhead.AvgLatency) / r.NoLookAhd.AvgLatency
 }
 
+// table3Lengths is the message-length axis of Table 3.
+var table3Lengths = []int{5, 10, 20, 50}
+
 // Table3 measures the look-ahead benefit versus message length (uniform
 // traffic, normalized load 0.2, adaptive routers).
-func Table3(f Fidelity, seed int64) []Table3Row {
-	var rows []Table3Row
-	for _, length := range []int{5, 10, 20, 50} {
-		mk := func(la bool) core.Result {
-			c := base(f)
+func (r Runner) Table3(ctx context.Context) ([]Table3Row, error) {
+	rows := make([]Table3Row, len(table3Lengths))
+	var g grid
+	for i, length := range table3Lengths {
+		rows[i].MsgLen = length
+		row := &rows[i]
+		for _, la := range []bool{true, false} {
+			c := r.base()
 			c.LookAhead = la
 			c.Pattern = traffic.Uniform
 			c.Load = 0.2
 			c.MsgLen = length
-			c.Seed = seed
-			return mustRun(c)
+			slot := &row.NoLookAhd
+			if la {
+				slot = &row.LookAhead
+			}
+			g.add(c, func(res core.Result) { *slot = res })
 		}
-		rows = append(rows, Table3Row{MsgLen: length, LookAhead: mk(true), NoLookAhd: mk(false)})
 	}
-	return rows
+	if err := g.run(ctx, r.opts()); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // RenderTable3 prints Table 3 in the paper's format.
@@ -231,23 +291,29 @@ type Fig6Row struct {
 var Fig6PSHs = []selection.Kind{selection.StaticXY, selection.MinMux, selection.LFU, selection.LRU, selection.MaxCredit}
 
 // Fig6 sweeps the path-selection heuristics over the four patterns.
-func Fig6(f Fidelity, seed int64) []Fig6Row {
+func (r Runner) Fig6(ctx context.Context) ([]Fig6Row, error) {
 	var rows []Fig6Row
 	for _, pat := range PaperPatterns {
 		for _, load := range patternLoads(pat) {
-			row := Fig6Row{Pattern: pat, Load: load, ByPSH: map[selection.Kind]core.Result{}}
-			for _, psh := range Fig6PSHs {
-				c := base(f)
-				c.Pattern = pat
-				c.Load = load
-				c.Selection = psh
-				c.Seed = seed
-				row.ByPSH[psh] = mustRun(c)
-			}
-			rows = append(rows, row)
+			rows = append(rows, Fig6Row{Pattern: pat, Load: load, ByPSH: map[selection.Kind]core.Result{}})
 		}
 	}
-	return rows
+	var g grid
+	for i := range rows {
+		row := &rows[i]
+		for _, psh := range Fig6PSHs {
+			c := r.base()
+			c.Pattern = row.Pattern
+			c.Load = row.Load
+			c.Selection = psh
+			psh := psh
+			g.add(c, func(res core.Result) { row.ByPSH[psh] = res })
+		}
+	}
+	if err := g.run(ctx, r.opts()); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // RenderFig6 prints the Fig. 6 series.
@@ -296,32 +362,45 @@ func table4Loads(p traffic.Kind) []float64 {
 	}
 }
 
+// table4Schemes is the storage-scheme axis of Table 4, in column order.
+var table4Schemes = []struct {
+	Kind table.Kind
+	Slot func(*Table4Row) *core.Result
+}{
+	{table.KindMetaBlock, func(r *Table4Row) *core.Result { return &r.MetaAdaptive }},
+	{table.KindMetaRow, func(r *Table4Row) *core.Result { return &r.MetaDet }},
+	{table.KindFull, func(r *Table4Row) *core.Result { return &r.Full }},
+	{table.KindES, func(r *Table4Row) *core.Result { return &r.ES }},
+}
+
 // Table4 compares the table-storage schemes: meta-table with the maximal-
 // flexibility (block) mapping, meta-table with the minimal (row) mapping,
 // full-table and economical storage, all on the LA adaptive router with
 // static-XY selection.
-func Table4(f Fidelity, seed int64) []Table4Row {
+func (r Runner) Table4(ctx context.Context) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, pat := range Table4Patterns {
 		for _, load := range table4Loads(pat) {
-			row := Table4Row{Pattern: pat, Load: load}
-			mk := func(tk table.Kind, alg core.Alg) core.Result {
-				c := base(f)
-				c.Pattern = pat
-				c.Load = load
-				c.Table = tk
-				c.Algorithm = alg
-				c.Seed = seed
-				return mustRun(c)
-			}
-			row.MetaAdaptive = mk(table.KindMetaBlock, core.AlgDuato)
-			row.MetaDet = mk(table.KindMetaRow, core.AlgDuato)
-			row.Full = mk(table.KindFull, core.AlgDuato)
-			row.ES = mk(table.KindES, core.AlgDuato)
-			rows = append(rows, row)
+			rows = append(rows, Table4Row{Pattern: pat, Load: load})
 		}
 	}
-	return rows
+	var g grid
+	for i := range rows {
+		row := &rows[i]
+		for _, scheme := range table4Schemes {
+			c := r.base()
+			c.Pattern = row.Pattern
+			c.Load = row.Load
+			c.Table = scheme.Kind
+			c.Algorithm = core.AlgDuato
+			slot := scheme.Slot(row)
+			g.add(c, func(res core.Result) { *slot = res })
+		}
+	}
+	if err := g.run(ctx, r.opts()); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // RenderTable4 prints Table 4 in the paper's format, with both the full
@@ -382,20 +461,36 @@ func Names() []string {
 }
 
 // RunByName executes one experiment by identifier and renders it to w.
-func RunByName(w io.Writer, name string, f Fidelity, seed int64) error {
+func (r Runner) RunByName(ctx context.Context, w io.Writer, name string) error {
 	switch strings.ToLower(name) {
 	case "table1":
 		RenderTable1(w, Table1())
 	case "table2":
 		RenderTable2(w, core.DefaultConfig())
 	case "fig5":
-		RenderFig5(w, Fig5(f, seed))
+		rows, err := r.Fig5(ctx)
+		if err != nil {
+			return err
+		}
+		RenderFig5(w, rows)
 	case "table3":
-		RenderTable3(w, Table3(f, seed))
+		rows, err := r.Table3(ctx)
+		if err != nil {
+			return err
+		}
+		RenderTable3(w, rows)
 	case "fig6":
-		RenderFig6(w, Fig6(f, seed))
+		rows, err := r.Fig6(ctx)
+		if err != nil {
+			return err
+		}
+		RenderFig6(w, rows)
 	case "table4":
-		RenderTable4(w, Table4(f, seed))
+		rows, err := r.Table4(ctx)
+		if err != nil {
+			return err
+		}
+		RenderTable4(w, rows)
 	case "table5":
 		RenderTable5(w, Table5(256, 2))
 		fmt.Fprintln(w)
@@ -406,4 +501,10 @@ func RunByName(w io.Writer, name string, f Fidelity, seed int64) error {
 		return fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
 	}
 	return nil
+}
+
+// RunByName executes one experiment with default workers; see Runner for
+// worker-pool and cache control.
+func RunByName(w io.Writer, name string, f Fidelity, seed int64) error {
+	return Runner{Fidelity: f, Seed: seed}.RunByName(context.Background(), w, name)
 }

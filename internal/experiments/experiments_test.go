@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -10,12 +12,190 @@ import (
 	"lapses/internal/traffic"
 )
 
-// The experiment harness is exercised at tiny fidelity on the real 16x16
-// network; the committed result shapes are validated by the claims tests
-// in claims_test.go.
+// The experiment harness is exercised two ways: grid plumbing (point
+// counts, scatter wiring, error and cancellation paths) through a fake
+// runner that encodes each config into its Result, and the real 16x16
+// network at tiny fidelity. The committed result shapes are validated by
+// the claims tests in claims_test.go.
+
+// fakeRun synthesizes a Result from the config so tests can verify every
+// point landed in the right row slot without simulating.
+func fakeRun(c core.Config) (core.Result, error) {
+	la := 2.0
+	if c.LookAhead {
+		la = 1.0
+	}
+	return core.Result{
+		AvgLatency: c.Load * 1000,
+		AvgHops:    float64(c.MsgLen),
+		Throughput: float64(c.Algorithm),
+		NetLatency: float64(c.Table),
+		CI95:       float64(c.Selection),
+		P50:        la,
+		Delivered:  1,
+	}, nil
+}
+
+func fakeRunner() Runner { return Runner{Fidelity: Quick, Seed: 1, Workers: 4, run: fakeRun} }
+
+func TestFig5GridShape(t *testing.T) {
+	t.Parallel()
+	rows, err := fakeRunner().Fig5(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, pat := range PaperPatterns {
+		want += len(patternLoads(pat))
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		for name, res := range map[string]core.Result{
+			"NoLADet": r.NoLADet, "NoLAAdapt": r.NoLAAdapt, "LADet": r.LADet, "LAAdapt": r.LAAdapt,
+		} {
+			if res.AvgLatency != r.Load*1000 {
+				t.Fatalf("%s/%.1f %s: scattered result for load %v", r.Pattern, r.Load, name, res.AvgLatency/1000)
+			}
+		}
+		// Architecture axis: deterministic columns carry AlgXY, adaptive
+		// ones AlgDuato; LA columns have the look-ahead marker.
+		if r.NoLADet.Throughput != float64(core.AlgXY) || r.NoLAAdapt.Throughput != float64(core.AlgDuato) {
+			t.Fatalf("%s/%.1f: algorithm columns scrambled", r.Pattern, r.Load)
+		}
+		if r.LADet.P50 != 1 || r.NoLADet.P50 != 2 {
+			t.Fatalf("%s/%.1f: look-ahead columns scrambled", r.Pattern, r.Load)
+		}
+	}
+}
+
+func TestFig6GridShape(t *testing.T) {
+	t.Parallel()
+	rows, err := fakeRunner().Fig6(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.ByPSH) != len(Fig6PSHs) {
+			t.Fatalf("%s/%.1f: %d heuristics want %d", r.Pattern, r.Load, len(r.ByPSH), len(Fig6PSHs))
+		}
+		for _, psh := range Fig6PSHs {
+			res := r.ByPSH[psh]
+			if res.CI95 != float64(psh) || res.AvgLatency != r.Load*1000 {
+				t.Fatalf("%s/%.1f/%s: wrong point scattered", r.Pattern, r.Load, psh)
+			}
+		}
+	}
+}
+
+func TestTable4GridShape(t *testing.T) {
+	t.Parallel()
+	rows, err := fakeRunner().Table4(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, pat := range Table4Patterns {
+		want += len(table4Loads(pat))
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		for _, scheme := range table4Schemes {
+			res := *scheme.Slot(&r)
+			if res.NetLatency != float64(scheme.Kind) {
+				t.Fatalf("%s/%.1f: column holds table kind %v want %v", r.Pattern, r.Load, res.NetLatency, scheme.Kind)
+			}
+		}
+	}
+}
+
+func TestTable3GridShapeAndRender(t *testing.T) {
+	t.Parallel()
+	rows, err := fakeRunner().Table3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(table3Lengths) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.MsgLen != table3Lengths[i] || r.LookAhead.AvgHops != float64(r.MsgLen) {
+			t.Errorf("row %d: msglen %d result %v", i, r.MsgLen, r.LookAhead.AvgHops)
+		}
+		if r.LookAhead.P50 != 1 || r.NoLookAhd.P50 != 2 {
+			t.Errorf("row %d: LA columns swapped", i)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Mesg. Len") {
+		t.Error("render missing header")
+	}
+}
+
+// TestPointErrorPropagates replaces the old mustRun-panic path: a failing
+// point must surface as an error from the experiment, not a panic.
+func TestPointErrorPropagates(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	r := fakeRunner()
+	r.run = func(c core.Config) (core.Result, error) {
+		if c.Pattern == traffic.Transpose && c.Load == 0.3 {
+			return core.Result{}, boom
+		}
+		return fakeRun(c)
+	}
+	if _, err := r.Fig5(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("Fig5 err = %v want boom", err)
+	}
+	if _, err := r.Fig6(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("Fig6 err = %v want boom", err)
+	}
+	if _, err := r.Table4(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("Table4 err = %v want boom", err)
+	}
+}
+
+func TestExperimentCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fakeRunner().Fig5(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig5 on cancelled ctx = %v", err)
+	}
+	if err := fakeRunner().RunByName(ctx, &bytes.Buffer{}, "table4"); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunByName on cancelled ctx = %v", err)
+	}
+}
+
+// TestRunByNameRendersAllSweeps drives every sweep-backed experiment
+// through RunByName with the fake runner, checking each renders output.
+func TestRunByNameRendersAllSweeps(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"fig5", "table3", "fig6", "table4"} {
+		var buf bytes.Buffer
+		if err := fakeRunner().RunByName(context.Background(), &buf, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: no output", name)
+		}
+	}
+}
 
 func TestTable3Shape(t *testing.T) {
-	rows := Table3(Quick, 1)
+	if testing.Short() {
+		t.Skip("real-simulation trend check; grid wiring runs in TestTable3GridShapeAndRender")
+	}
+	t.Parallel()
+	r := Runner{Fidelity: Quick, Seed: 1, Cache: testCache}
+	rows, err := r.Table3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -30,14 +210,10 @@ func TestTable3Shape(t *testing.T) {
 			t.Errorf("len %d: negative improvement %.1f", r.MsgLen, r.Improvement())
 		}
 	}
-	var buf bytes.Buffer
-	RenderTable3(&buf, rows)
-	if !strings.Contains(buf.String(), "Mesg. Len") {
-		t.Error("render missing header")
-	}
 }
 
 func TestTable5Counts(t *testing.T) {
+	t.Parallel()
 	rows := Table5(256, 2)
 	byScheme := map[string]int{}
 	for _, r := range rows {
@@ -69,6 +245,7 @@ func TestTable5Counts(t *testing.T) {
 }
 
 func TestRunByName(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := RunByName(&buf, "table5", Quick, 1); err != nil {
 		t.Fatal(err)
@@ -82,6 +259,7 @@ func TestRunByName(t *testing.T) {
 }
 
 func TestParseFidelity(t *testing.T) {
+	t.Parallel()
 	for _, s := range []string{"quick", "default", "paper"} {
 		if _, err := ParseFidelity(s); err != nil {
 			t.Errorf("%s: %v", s, err)
@@ -93,6 +271,7 @@ func TestParseFidelity(t *testing.T) {
 }
 
 func TestPctOver(t *testing.T) {
+	t.Parallel()
 	a := core.Result{AvgLatency: 110}
 	b := core.Result{AvgLatency: 100}
 	p, ok := pctOver(a, b)
@@ -104,16 +283,15 @@ func TestPctOver(t *testing.T) {
 	}
 }
 
-// Minimal one-point Fig6 run to exercise the sweep machinery without the
-// full grid (the grid runs in claims_test.go and the benchmarks).
+// Minimal one-point real-simulation run through the sweep machinery (the
+// full grids run in claims_test.go and the benchmarks).
 func TestFig6SinglePoint(t *testing.T) {
-	row := Fig6Row{Pattern: traffic.Transpose, Load: 0.2, ByPSH: nil}
-	_ = row
-	c := base(Quick)
+	t.Parallel()
+	c := Runner{Fidelity: Quick, Seed: 1}.base()
 	c.Pattern = traffic.Transpose
 	c.Load = 0.2
 	c.Selection = selection.LRU
-	res := mustRun(c)
+	res := sweepClaims(t, c)[0]
 	if res.Saturated {
 		t.Fatalf("transpose 0.2 saturated: %s", res.SatReason)
 	}

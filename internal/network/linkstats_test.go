@@ -106,10 +106,14 @@ func TestEjectionAccounting(t *testing.T) {
 // imbalance must clearly exceed full-table routing's at equal load.
 func TestMetaBlockBoundaryCongestion(t *testing.T) {
 	m := topology.NewMesh(16, 16)
+	messages := 4000
+	if testing.Short() {
+		messages = 1500
+	}
 	imbalance := func(tk table.Kind) float64 {
 		cfg := testConfig(m, true, tk, selection.StaticXY, traffic.New(traffic.Transpose, m), traffic.MessageRate(m, 0.2, 20), 17)
 		n := New(cfg)
-		n.Run(RunParams{WarmupMessages: 200, MeasureMessages: 4000})
+		n.Run(RunParams{WarmupMessages: 200, MeasureMessages: messages})
 		return n.LinkImbalance()
 	}
 	full := imbalance(table.KindFull)

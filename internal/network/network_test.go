@@ -194,9 +194,13 @@ func TestDeterminism(t *testing.T) {
 func TestNoDeadlockUnderStress(t *testing.T) {
 	m := topology.NewMesh(8, 8)
 	rate := traffic.MessageRate(m, 0.9, 20)
+	messages, budget := 2000, int64(150000)
+	if testing.Short() {
+		messages, budget = 400, 25000
+	}
 	for _, sel := range []selection.Kind{selection.StaticXY, selection.LRU, selection.MaxCredit} {
 		n := New(testConfig(m, true, table.KindES, sel, traffic.New(traffic.Transpose, m), rate, 13))
-		r := n.Run(RunParams{WarmupMessages: 100, MeasureMessages: 2000, MaxCycles: 150000})
+		r := n.Run(RunParams{WarmupMessages: 100, MeasureMessages: messages, MaxCycles: budget})
 		if r.SatReason == "no delivery progress (possible deadlock)" {
 			t.Fatalf("%v: deadlock detected", sel)
 		}
@@ -208,13 +212,25 @@ func TestNoDeadlockUnderStress(t *testing.T) {
 func TestSaturationDetected(t *testing.T) {
 	m := topology.NewMesh(8, 8)
 	rate := traffic.MessageRate(m, 3.0, 20) // 3x bisection capacity
+	messages, budget := 3000, int64(0)
+	if testing.Short() {
+		// The verdict (saturated, not deadlocked) is clear long before
+		// the default ~50k-cycle budget; cap it for the smoke run.
+		messages, budget = 1000, 15000
+	}
 	n := New(testConfig(m, true, table.KindES, selection.StaticXY, traffic.New(traffic.Uniform, m), rate, 3))
-	r := n.Run(RunParams{WarmupMessages: 100, MeasureMessages: 3000})
+	r := n.Run(RunParams{WarmupMessages: 100, MeasureMessages: messages, MaxCycles: budget})
 	if !r.Saturated {
 		t.Fatal("overloaded network not flagged as saturated")
 	}
 	if r.LatencyString() != "Sat." {
 		t.Errorf("LatencyString = %q", r.LatencyString())
+	}
+	// Guard against a vacuous short-mode pass (the explicit budget also
+	// sets Saturated): the run must show genuine overload symptoms, not
+	// a healthy network cut off early.
+	if r.Latency.N() >= int64(messages) {
+		t.Errorf("overloaded network delivered all %d measured messages", messages)
 	}
 }
 

@@ -1,0 +1,117 @@
+// Package sweep runs experiment grids — ordered lists of core.Config
+// points — concurrently and deterministically. It is the execution engine
+// behind every figure and table sweep in internal/experiments and the
+// enabler for large scenario grids: points run on a worker pool sized by
+// GOMAXPROCS (overridable), results come back in grid order regardless of
+// completion order, per-point failures are captured instead of panicking,
+// and an optional memo cache keyed by the full core.Config lets repeated
+// points (shared baselines across figures) simulate exactly once.
+//
+// Because core.Run builds a private network per call, points are
+// independent and the outcome of a grid is bit-identical whether it runs
+// on 1 worker or N (see TestSweepDeterminism).
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"lapses/internal/core"
+)
+
+// Outcome is the terminal state of one grid point.
+type Outcome struct {
+	// Config is the point, copied from the grid in order.
+	Config core.Config
+	// Result is valid when Err is nil.
+	Result core.Result
+	// Err captures a point failure (configuration error, or ctx.Err()
+	// for points the sweep never started). A point error does not stop
+	// the rest of the grid.
+	Err error
+	// Cached reports that Result came from the memo cache rather than a
+	// fresh simulation.
+	Cached bool
+}
+
+// Options configure a Run.
+type Options struct {
+	// Workers bounds how many points simulate concurrently; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoizes results by core.Config.Key so
+	// repeated points simulate once. A cache may be shared across Runs
+	// and across goroutines.
+	Cache *Cache
+	// Runner replaces core.Run, for tests that need scripted results or
+	// controllable blocking. Nil means core.Run.
+	Runner func(core.Config) (core.Result, error)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) runner() func(core.Config) (core.Result, error) {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return core.Run
+}
+
+// Run executes every point of grid and returns one Outcome per point, in
+// grid order regardless of completion order.
+//
+// Point failures are per-point: Outcome.Err is set and the sweep
+// continues, replacing the panic-on-error style of the old serial
+// harness. Cancelling ctx stops dispatching; points already running
+// finish (core.Run is not interruptible), unstarted points carry
+// ctx.Err(), and Run returns ctx.Err() alongside the partial outcomes.
+func Run(ctx context.Context, grid []core.Config, opt Options) ([]Outcome, error) {
+	outs := make([]Outcome, len(grid))
+	for i := range grid {
+		outs[i].Config = grid[i]
+	}
+	run := opt.runner()
+
+	workers := opt.workers()
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outs[i].Result, outs[i].Cached, outs[i].Err = opt.Cache.do(ctx, grid[i], run)
+			}
+		}()
+	}
+	dispatched := make([]bool, len(grid))
+dispatch:
+	for i := range grid {
+		select {
+		case idx <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range outs {
+			if !dispatched[i] {
+				outs[i].Err = err
+			}
+		}
+		return outs, err
+	}
+	return outs, nil
+}
