@@ -248,15 +248,34 @@ func BenchmarkSweepMemoCache(b *testing.B) {
 // per second at a loaded steady state, the number that bounds every sweep
 // above.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchSimulator(b, 0.5)
+}
+
+// BenchmarkSimulatorLowLoad measures the same simulation at load 0.05,
+// the low end of every latency curve, where the network is nearly empty
+// and the active-set scheduler's idle-skip dominates.
+func BenchmarkSimulatorLowLoad(b *testing.B) {
+	benchSimulator(b, 0.05)
+}
+
+// benchSimulator measures the cost of one sweep point in a warm process,
+// the unit every experiment grid is built from. The seed is fixed, as it
+// is across the load axis of a real sweep.
+func benchSimulator(b *testing.B, load float64) {
+	b.Helper()
 	c := benchConfig()
-	c.Load = 0.5
+	c.Load = load
 	c.Warmup, c.Measure = 100, 1000
+	b.ReportAllocs()
+	var cycles int64
 	for i := 0; i < b.N; i++ {
-		c.Seed = int64(i + 1)
-		if _, err := core.Run(c); err != nil {
+		r, err := core.Run(c)
+		if err != nil {
 			b.Fatal(err)
 		}
+		cycles += r.Cycles
 	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 // Ablation benches: the design choices DESIGN.md calls out.

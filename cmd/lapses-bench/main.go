@@ -1,0 +1,194 @@
+// Command lapses-bench measures simulator performance and writes a JSON
+// snapshot of the perf trajectory: wall time per sweep point, simulated
+// cycles per second, allocations per run, and sweep-engine points/sec.
+// Each PR records a BENCH_<date>.json so regressions and wins are
+// provable against history rather than anecdotes.
+//
+//	lapses-bench                  # full suite -> BENCH_<today>.json
+//	lapses-bench -quick -out b.json
+//
+// Methodology: every case runs in a warm process (caches primed by one
+// untimed run), for -mintime per case, with a fixed seed — the regime a
+// sweep point lives in, where one structural configuration is reused
+// across the whole load axis.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/sweep"
+	"lapses/internal/traffic"
+)
+
+// entry is one benchmark case in the snapshot.
+type entry struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+}
+
+// snapshot is the BENCH_<date>.json schema.
+type snapshot struct {
+	Schema     int     `json:"schema"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	quick := flag.Bool("quick", false, "single timed iteration per case (CI smoke)")
+	minTime := flag.Duration("mintime", 2*time.Second, "minimum measurement time per case")
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	if *quick {
+		*minTime = 0
+	}
+
+	snap := snapshot{
+		Schema:     1,
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Sweep points across the load axis: 0.05 is the low-load regime
+	// where the active-set scheduler's idle-skip dominates, 0.5 a loaded
+	// steady state, 0.2 the paper's workhorse operating point.
+	for _, load := range []float64{0.05, 0.2, 0.5} {
+		c := simPoint(load)
+		snap.Entries = append(snap.Entries, measure(
+			fmt.Sprintf("sim/16x16/load=%.2f", load), *minTime,
+			func() int64 {
+				r, err := core.Run(c)
+				if err != nil {
+					fatal(err)
+				}
+				return r.TotalCycles
+			}))
+	}
+
+	// Construction cost: what every sweep point pays before cycle zero.
+	{
+		c := simPoint(0.05)
+		c.Warmup, c.Measure = 0, 1
+		snap.Entries = append(snap.Entries, measure("construct/16x16", *minTime,
+			func() int64 {
+				r, err := core.Run(c)
+				if err != nil {
+					fatal(err)
+				}
+				return r.TotalCycles
+			}))
+	}
+
+	// Sweep-engine throughput: a 16-point grid through the concurrent
+	// runner, the shape of every figure and table regeneration.
+	{
+		var grid []core.Config
+		for _, pat := range []traffic.Kind{traffic.Uniform, traffic.Transpose} {
+			for _, load := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4} {
+				c := simPoint(load)
+				c.Pattern = pat
+				grid = append(grid, c)
+			}
+		}
+		e := measure("sweep/16pt", *minTime, func() int64 {
+			outs, err := sweep.Run(context.Background(), grid, sweep.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			var cycles int64
+			for _, o := range outs {
+				if o.Err != nil {
+					fatal(o.Err)
+				}
+				cycles += o.Result.TotalCycles
+			}
+			return cycles
+		})
+		e.PointsPerSec = float64(len(grid)) / (e.NsPerOp / 1e9)
+		snap.Entries = append(snap.Entries, e)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, e := range snap.Entries {
+		fmt.Printf("%-22s %12.0f ns/op %14.0f cycles/sec %10.0f allocs/op\n",
+			e.Name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
+	}
+}
+
+// simPoint is the canonical benchmark configuration: the 16x16 paper mesh
+// with a reduced sample size, fixed seed, static selection.
+func simPoint(load float64) core.Config {
+	c := core.DefaultConfig()
+	c.Selection = selection.StaticXY
+	c.Load = load
+	c.Warmup, c.Measure = 100, 1000
+	c.Seed = 1
+	return c
+}
+
+// measure runs once untimed (to prime process-lifetime caches), then
+// repeats the case until minTime has elapsed, reading allocation counters
+// around the timed region.
+func measure(name string, minTime time.Duration, once func() int64) entry {
+	once() // warm plumbing, seed, and memo caches
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var cycles int64
+	iters := 0
+	for {
+		cycles += once()
+		iters++
+		if time.Since(start) >= minTime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return entry{
+		Name:         name,
+		Iterations:   iters,
+		NsPerOp:      float64(elapsed.Nanoseconds()) / float64(iters),
+		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lapses-bench:", err)
+	os.Exit(2)
+}

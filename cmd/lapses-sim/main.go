@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,7 +42,21 @@ func main() {
 	warmup := flag.Int("warmup", cfg.Warmup, "warm-up messages (excluded from stats)")
 	measure := flag.Int("measure", cfg.Measure, "measured messages")
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var err error
 	if cfg.Dims, err = parseDims(*dims); err != nil {
@@ -81,6 +97,18 @@ func main() {
 	fmt.Printf("delivered      %d messages over %d cycles\n", res.Delivered, res.Cycles)
 	if res.Saturated {
 		fmt.Printf("saturated      %s\n", res.SatReason)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,8 @@
 // comparison and ablation.
 package arbiter
 
+import "math/bits"
+
 // Arbiter grants one requester out of a request set each invocation.
 type Arbiter interface {
 	// Grant returns the index of the granted requester, or -1 if no bit
@@ -22,36 +24,45 @@ type RoundRobin struct {
 	next int
 }
 
-// NewRoundRobin returns a round-robin arbiter over n requesters (n <= 64).
-func NewRoundRobin(n int) *RoundRobin {
+// MakeRoundRobin returns a by-value round-robin arbiter over n requesters
+// (n <= 64), for callers that embed many arbiters in a slab instead of
+// heap-allocating each one.
+func MakeRoundRobin(n int) RoundRobin {
 	if n < 1 || n > 64 {
 		panic("arbiter: size out of range [1,64]")
 	}
-	return &RoundRobin{n: n}
+	return RoundRobin{n: n}
+}
+
+// NewRoundRobin returns a round-robin arbiter over n requesters (n <= 64).
+func NewRoundRobin(n int) *RoundRobin {
+	a := MakeRoundRobin(n)
+	return &a
 }
 
 // Size implements Arbiter.
 func (a *RoundRobin) Size() int { return a.n }
 
-// Grant implements Arbiter.
+// Grant implements Arbiter. The rotating-priority search is branch-free:
+// the winner is the lowest set bit at or above the priority pointer, or
+// the lowest set bit overall on wraparound — exactly what the equivalent
+// rotating scan finds, in O(1) instead of O(n).
 func (a *RoundRobin) Grant(reqs uint64) int {
+	if a.n < 64 {
+		reqs &= 1<<a.n - 1
+	}
 	if reqs == 0 {
 		return -1
 	}
-	for off := 0; off < a.n; off++ {
-		i := a.next + off
-		if i >= a.n {
-			i -= a.n
-		}
-		if reqs&(1<<i) != 0 {
-			a.next = i + 1
-			if a.next == a.n {
-				a.next = 0
-			}
-			return i
-		}
+	i := bits.TrailingZeros64(reqs &^ (1<<a.next - 1))
+	if i == 64 {
+		i = bits.TrailingZeros64(reqs)
 	}
-	return -1
+	a.next = i + 1
+	if a.next == a.n {
+		a.next = 0
+	}
+	return i
 }
 
 // Matrix is a least-recently-served matrix arbiter: a triangular matrix of

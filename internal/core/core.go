@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"lapses/internal/network"
 	"lapses/internal/router"
@@ -282,6 +283,10 @@ type Result struct {
 	Delivered int64
 	// Cycles is the measured span.
 	Cycles int64
+	// TotalCycles is the total number of cycles the simulation advanced,
+	// including warmup and drain — the denominator for simulator
+	// throughput (cycles/second) in perf harnesses.
+	TotalCycles int64
 	// Saturated marks runs that hit a saturation guard; the paper
 	// prints "Sat." for these.
 	Saturated bool
@@ -296,15 +301,47 @@ func (r Result) LatencyString() string {
 	return fmt.Sprintf("%.1f", r.AvgLatency)
 }
 
+// plumbing bundles the immutable structural pieces shared by every run
+// over the same topology and routing policy: the mesh, the routing
+// algorithm, and the per-node tables. All are read-only after
+// construction, so concurrent runs (sweep workers) share them freely.
+type plumbing struct {
+	m    *topology.Mesh
+	cls  routing.Class
+	alg  routing.Algorithm
+	tbls []table.Table
+}
+
+// plumbingCache memoizes plumbing per structural configuration for the
+// lifetime of the process. Sweeps construct thousands of networks that
+// differ only in workload and seed; rebuilding tables for each run used
+// to be a visible fraction of low-load sweep time.
+var plumbingCache sync.Map
+
+func (c Config) plumbing() *plumbing {
+	key := fmt.Sprintf("d%v,t%t,v%d,e%d,a%d,tb%d", c.Dims, c.Torus, c.VCs, c.EscapeVCs, int(c.Algorithm), int(c.Table))
+	if v, ok := plumbingCache.Load(key); ok {
+		return v.(*plumbing)
+	}
+	m := c.Mesh()
+	cls := c.class()
+	alg := c.buildAlgorithm(m, cls)
+	tbls := make([]table.Table, m.N())
+	for id := range tbls {
+		tbls[id] = table.Build(c.Table, m, alg, cls, topology.NodeID(id))
+	}
+	v, _ := plumbingCache.LoadOrStore(key, &plumbing{m: m, cls: cls, alg: alg, tbls: tbls})
+	return v.(*plumbing)
+}
+
 // Run builds the network described by cfg and executes the measurement
 // loop.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	m := cfg.Mesh()
-	cls := cfg.class()
-	alg := cfg.buildAlgorithm(m, cls)
+	p := cfg.plumbing()
+	m := p.m
 	ncfg := network.Config{
 		Mesh: m,
 		Router: router.Config{
@@ -312,9 +349,10 @@ func Run(cfg Config) (Result, error) {
 			LookAhead: cfg.LookAhead, CutThrough: cfg.CutThrough,
 		},
 		LinkDelay: cfg.LinkDelay,
-		Algorithm: alg,
-		Class:     cls,
+		Algorithm: p.alg,
+		Class:     p.cls,
 		Table:     cfg.Table,
+		Tables:    p.tbls,
 		Selection: cfg.Selection,
 		Trace:     cfg.Trace,
 		MsgLen:    cfg.MsgLen,
@@ -335,17 +373,18 @@ func Run(cfg Config) (Result, error) {
 		SatLatency:      cfg.SatLatency,
 	})
 	return Result{
-		AvgLatency: run.Latency.Mean(),
-		NetLatency: run.NetLatency.Mean(),
-		CI95:       run.LatencyBatches.HalfWidth95(),
-		P50:        run.LatencyHist.Quantile(0.50),
-		P95:        run.LatencyHist.Quantile(0.95),
-		P99:        run.LatencyHist.Quantile(0.99),
-		AvgHops:    run.Hops.Mean(),
-		Throughput: run.Throughput(),
-		Delivered:  run.Latency.N(),
-		Cycles:     run.Cycles,
-		Saturated:  run.Saturated,
-		SatReason:  run.SatReason,
+		AvgLatency:  run.Latency.Mean(),
+		NetLatency:  run.NetLatency.Mean(),
+		CI95:        run.LatencyBatches.HalfWidth95(),
+		P50:         run.LatencyHist.Quantile(0.50),
+		P95:         run.LatencyHist.Quantile(0.95),
+		P99:         run.LatencyHist.Quantile(0.99),
+		AvgHops:     run.Hops.Mean(),
+		Throughput:  run.Throughput(),
+		Delivered:   run.Latency.N(),
+		Cycles:      run.Cycles,
+		TotalCycles: net.Now(),
+		Saturated:   run.Saturated,
+		SatReason:   run.SatReason,
 	}, nil
 }

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_kernel.txt from the current kernel")
+
+// goldenGrid pins the configurations the kernel-determinism golden covers:
+// 2 patterns x 3 loads x both pipelines x 2 seeds on an 8x8 mesh. The
+// fixture was generated from the pre-active-set kernel; any cycle-kernel
+// optimization must reproduce these Results bit for bit.
+func goldenGrid() []core.Config {
+	var grid []core.Config
+	for _, pat := range []traffic.Kind{traffic.Uniform, traffic.Transpose} {
+		for _, load := range []float64{0.05, 0.2, 0.4} {
+			for _, la := range []bool{false, true} {
+				for _, seed := range []int64{1, 2} {
+					c := core.DefaultConfig()
+					c.Dims = []int{8, 8}
+					c.Selection = selection.LRU
+					c.Pattern = pat
+					c.Load = load
+					c.LookAhead = la
+					c.Seed = seed
+					c.Warmup, c.Measure = 100, 1000
+					grid = append(grid, c)
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// fingerprint renders a Result with float fields as raw IEEE-754 bit
+// patterns, so comparison is exact rather than print-precision deep.
+func fingerprint(r core.Result) string {
+	b := math.Float64bits
+	return fmt.Sprintf("lat=%016x net=%016x ci=%016x p50=%016x p95=%016x p99=%016x hops=%016x thr=%016x del=%d cyc=%d sat=%t reason=%q",
+		b(r.AvgLatency), b(r.NetLatency), b(r.CI95), b(r.P50), b(r.P95), b(r.P99),
+		b(r.AvgHops), b(r.Throughput), r.Delivered, r.Cycles, r.Saturated, r.SatReason)
+}
+
+// TestGoldenKernel locks the simulation kernel's observable behavior: every
+// grid point must produce a Result identical, to the bit, to the fixture
+// recorded before the active-set scheduler landed. Regenerate (only when a
+// semantic change is intended) with: go test ./internal/core -run
+// TestGoldenKernel -update
+func TestGoldenKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grid is 24 full runs; skipped under -short")
+	}
+	grid := goldenGrid()
+	got := make(map[string]string, len(grid))
+	for _, c := range grid {
+		key := fmt.Sprintf("%s/load=%.2f/la=%t/seed=%d", c.Pattern, c.Load, c.LookAhead, c.Seed)
+		r, err := core.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		got[key] = fingerprint(r)
+	}
+
+	path := filepath.Join("testdata", "golden_kernel.txt")
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteString("# Kernel determinism fixture. One line per grid point: <key> <fingerprint>\n")
+		sb.WriteString("# Regenerate: go test ./internal/core -run TestGoldenKernel -update\n")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s\t%s\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), path)
+		return
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		want[k] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d entries, grid has %d", len(want), len(got))
+	}
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden fixture", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: kernel diverged from golden\n got %s\nwant %s", k, g, w)
+		}
+	}
+}

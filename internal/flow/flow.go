@@ -36,6 +36,18 @@ type Message struct {
 
 	// Hops counts router-to-router link traversals, for path-length stats.
 	Hops int
+
+	// Route carries the look-ahead candidate set valid at the router the
+	// header flit is traveling toward (the paper's modified header), and
+	// Dateline the per-dimension torus wraparound bits. They are per-hop
+	// header state, but they ride on the Message rather than the Flit:
+	// the header exists at exactly one point of the network at a time, so
+	// the SA stage of hop k writes these strictly before the input stage
+	// of hop k+1 reads them, and a single shared slot is indistinguishable
+	// from a field carried in the flit — while keeping the Flit value,
+	// which is copied through every buffer and wheel slot, at 16 bytes.
+	Route    RouteSet
+	Dateline uint8
 }
 
 // FlitType distinguishes the roles of flits within a message.
@@ -73,19 +85,13 @@ func (t FlitType) String() string {
 }
 
 // Flit is the flow-control unit. Flits are passed by value through buffers;
-// only the Message is shared. The Route field is meaningful on head flits
-// only: in a look-ahead router it carries the candidate set valid at the
-// router the flit is travelling toward (the paper's modified header), while
-// in a non-look-ahead router it is filled by the local table-lookup stage.
+// only the Message is shared. Head flits logically carry the routing
+// header (candidate set and dateline bits); see Message.Route for where
+// that state is stored and why.
 type Flit struct {
-	Msg   *Message
-	Seq   int32
-	Type  FlitType
-	Route RouteSet
-	// Dateline records, per dimension bit, whether the message has
-	// crossed a torus wraparound link; routers use it to pick the
-	// dateline VC class. Always zero on meshes.
-	Dateline uint8
+	Msg  *Message
+	Seq  int32
+	Type FlitType
 }
 
 // TypeFor returns the flit type for position seq in a message of the given

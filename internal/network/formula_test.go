@@ -45,7 +45,7 @@ func TestQuickContentionFreeFormula(t *testing.T) {
 		n := New(cfg)
 		msg := &flow.Message{ID: 0, Src: src, Dst: dst, Length: length, CreateTime: 0}
 		n.nextMsg = 1
-		n.nis[src].queue = append(n.nis[src].queue, msg)
+		n.inject(msg)
 		var got int64 = -1
 		n.onArrive = func(mm *flow.Message, now int64) { got = mm.ArriveTime - mm.CreateTime }
 		for i := 0; i < 2000 && got < 0; i++ {
@@ -97,7 +97,7 @@ func TestContentionFreeTorus(t *testing.T) {
 	n := New(cfg)
 	msg := &flow.Message{ID: 0, Src: src, Dst: dst, Length: 4, CreateTime: 0}
 	n.nextMsg = 1
-	n.nis[src].queue = append(n.nis[src].queue, msg)
+	n.inject(msg)
 	var got int64 = -1
 	n.onArrive = func(mm *flow.Message, now int64) { got = mm.ArriveTime - mm.CreateTime }
 	for i := 0; i < 200 && got < 0; i++ {

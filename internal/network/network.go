@@ -32,6 +32,12 @@ type Config struct {
 	Class routing.Class
 	// Table selects the table organization.
 	Table table.Kind
+	// Tables, when non-nil, supplies a prebuilt table per node (indexed
+	// by node id) instead of building them here. Tables are immutable
+	// after construction, so callers running many simulations over the
+	// same topology and routing policy share one set across runs (see
+	// core's plumbing cache).
+	Tables []table.Table
 	// Selection is the path-selection heuristic.
 	Selection selection.Kind
 	// Pattern drives destination choice.
@@ -76,34 +82,70 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// event kinds carried by the timing wheel.
-type event struct {
-	credit bool
-	toNI   bool
-	node   topology.NodeID
-	port   topology.Port
-	vc     flow.VCID
-	fl     flow.Flit
+// flitEvent is a flit in flight on a wire, due to latch into its
+// destination router's input buffer. 24 bytes; copied twice per link
+// traversal.
+type flitEvent struct {
+	fl   flow.Flit
+	node topology.NodeID
+	port topology.Port
+	vc   flow.VCID
+}
+
+// creditEvent is a credit returning upstream (or to an NI for the
+// injection port). Credits are half of all wheel traffic, and an 8-byte
+// event keeps that half cheap. Flit and credit events ride separate
+// wheels: within a cycle they touch disjoint state (input buffers vs
+// output credit counters), so processing one class before the other is
+// indistinguishable from the old interleaved order.
+type creditEvent struct {
+	node topology.NodeID
+	port topology.Port
+	vc   flow.VCID
+	toNI bool
 }
 
 // wheel is a fixed-horizon event calendar for link and credit traversal.
-type wheel struct {
-	slots [][]event
+// Its slots are a ring of reusable typed buffers: take hands the caller
+// exclusive ownership of a slot's events and installs the spare buffer in
+// its place, so buffers rotate through the slots and the steady state
+// allocates nothing once each buffer has grown to its high-water mark.
+type wheel[E any] struct {
+	slots [][]E
+	mask  int64
+	// spare is the drained buffer from the previous take, reinstalled on
+	// the next one. Holding it for a full cycle (instead of truncating the
+	// slot in place) makes ownership explicit: a schedule landing in the
+	// slot just taken appends to a different buffer than the slice the
+	// caller is still iterating.
+	spare []E
 }
 
-func newWheel(horizon int) *wheel {
-	return &wheel{slots: make([][]event, horizon)}
+func newWheel[E any](horizon int) *wheel[E] {
+	// Round the slot count up to a power of two so the per-event slot
+	// computation is a mask, not a division (extra slots are harmless —
+	// events only ever land up to `horizon` cycles ahead).
+	n := 1
+	for n < horizon {
+		n <<= 1
+	}
+	return &wheel[E]{slots: make([][]E, n), mask: int64(n - 1)}
 }
 
-func (w *wheel) schedule(at int64, e event) {
-	i := int(at) % len(w.slots)
+func (w *wheel[E]) schedule(at int64, e E) {
+	i := at & w.mask
 	w.slots[i] = append(w.slots[i], e)
 }
 
-func (w *wheel) take(at int64) []event {
-	i := int(at) % len(w.slots)
+// take returns the events due at cycle `at` and transfers their slot's
+// buffer to the caller until the next take. The returned slice stays
+// intact across any same-cycle schedule calls; it is recycled one take
+// later, so callers must finish with it within the cycle.
+func (w *wheel[E]) take(at int64) []E {
+	i := at & w.mask
 	evs := w.slots[i]
-	w.slots[i] = w.slots[i][:0]
+	w.slots[i] = w.spare[:0]
+	w.spare = evs[:0]
 	return evs
 }
 
@@ -113,12 +155,49 @@ type Network struct {
 	m       *topology.Mesh
 	routers []*router.Router
 	nis     []*ni
-	wheel   *wheel
+	flits   *wheel[flitEvent]
+	credits *wheel[creditEvent]
 	now     int64
+
+	// Active-set scheduler state: Step visits only routers with buffered
+	// flits and NIs with queued or streaming messages; idle NIs park on
+	// the wake heap until their traffic process next fires.
+	actRouters activeSet
+	actNIs     activeSet
+	wakes      wakeHeap
+
+	// totalOcc and totalQueued mirror the sums the Occupancy and
+	// QueuedMessages scans used to compute, maintained incrementally so
+	// the Run loop's per-cycle progress guard is O(1). lastOcc shadows
+	// each router's occupancy in a dense array so the tick loop computes
+	// deltas without an extra load from every router's struct.
+	totalOcc    int
+	totalQueued int
+	lastOcc     []int32
+
+	// msgFree pools delivered Message objects for reuse by the NIs;
+	// recycling is enabled only inside Run, where no caller retains
+	// message pointers past the arrival callback.
+	recycle bool
+	msgFree []*flow.Message
+
+	// links caches, per (node, port), the downstream latch point — the
+	// neighbor and its opposite port — so the per-flit send and credit
+	// paths never recompute mesh coordinates. ports caches m.NumPorts().
+	links []link
+	ports int
 
 	nextMsg   flow.MessageID
 	delivered int64 // total messages delivered
 	onArrive  func(msg *flow.Message, now int64)
+}
+
+// link is one direction of a wired channel: the node and input port that
+// flits leaving through the owning (node, port) pair arrive at.
+type link struct {
+	node topology.NodeID
+	port topology.Port
+	ok   bool
 }
 
 // New builds and wires a network. It panics on invalid configuration,
@@ -133,19 +212,44 @@ func New(cfg Config) *Network {
 		m:       m,
 		routers: make([]*router.Router, m.N()),
 		nis:     make([]*ni, m.N()),
-		wheel:   newWheel(cfg.LinkDelay + 2),
+		flits:   newWheel[flitEvent](cfg.LinkDelay + 2),
+		credits: newWheel[creditEvent](cfg.LinkDelay + 2),
 	}
 	for id := 0; id < m.N(); id++ {
 		node := topology.NodeID(id)
-		tbl := table.Build(cfg.Table, m, cfg.Algorithm, cfg.Class, node)
+		tbl := table.Table(nil)
+		if cfg.Tables != nil {
+			tbl = cfg.Tables[id]
+		} else {
+			tbl = table.Build(cfg.Table, m, cfg.Algorithm, cfg.Class, node)
+		}
 		sel := selection.New(cfg.Selection, cfg.Seed+int64(id)*7919)
 		n.routers[id] = router.New(node, m, cfg.Router, tbl, sel)
+	}
+	n.ports = m.NumPorts()
+	n.links = make([]link, m.N()*m.NumPorts())
+	for id := 0; id < m.N(); id++ {
+		for p := 0; p < m.NumPorts(); p++ {
+			if nb, ok := m.Neighbor(topology.NodeID(id), topology.Port(p)); ok {
+				n.links[id*m.NumPorts()+p] = link{node: nb, port: topology.Opposite(topology.Port(p)), ok: true}
+			}
+		}
 	}
 	for id := 0; id < m.N(); id++ {
 		node := topology.NodeID(id)
 		r := n.routers[id]
 		r.SetFabric(n.sendFunc(node), n.creditFunc(node), n.deliverFunc(node))
 		n.nis[id] = newNI(n, node, r)
+	}
+	n.actRouters = newActiveSet(m.N())
+	n.actNIs = newActiveSet(m.N())
+	n.lastOcc = make([]int32, m.N())
+	// Every NI starts idle; park each on the wake heap at its first
+	// arrival (nodes whose process never fires stay dormant forever).
+	for id, x := range n.nis {
+		if at, ok := x.nextWake(); ok {
+			n.wakes.push(wake{at: at, node: int32(id)})
+		}
 	}
 	return n
 }
@@ -154,13 +258,14 @@ func New(cfg Config) *Network {
 // arrives (is latched) at the neighbor after the output register plus the
 // link delay.
 func (n *Network) sendFunc(node topology.NodeID) router.SendFunc {
+	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
 	return func(from topology.NodeID, p topology.Port, v flow.VCID, fl flow.Flit, now int64) {
-		nb, ok := n.m.Neighbor(node, p)
-		if !ok {
+		l := links[p]
+		if !l.ok {
 			panic(fmt.Sprintf("network: node %d sent out port %d with no link", node, p))
 		}
-		n.wheel.schedule(now+1+int64(n.cfg.LinkDelay), event{
-			node: nb, port: topology.Opposite(p), vc: v, fl: fl,
+		n.flits.schedule(now+1+int64(n.cfg.LinkDelay), flitEvent{
+			node: l.node, port: l.port, vc: v, fl: fl,
 		})
 	}
 }
@@ -168,17 +273,18 @@ func (n *Network) sendFunc(node topology.NodeID) router.SendFunc {
 // creditFunc returns a freed input-buffer slot upstream: to the neighbor's
 // output VC, or to the local NI for the injection port.
 func (n *Network) creditFunc(node topology.NodeID) router.CreditFunc {
+	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
 	return func(from topology.NodeID, p topology.Port, v flow.VCID, now int64) {
 		at := now + 1 + int64(n.cfg.LinkDelay)
 		if p == topology.PortLocal {
-			n.wheel.schedule(at, event{credit: true, toNI: true, node: node, vc: v})
+			n.credits.schedule(at, creditEvent{toNI: true, node: node, vc: v})
 			return
 		}
-		nb, ok := n.m.Neighbor(node, p)
-		if !ok {
+		l := links[p]
+		if !l.ok {
 			panic(fmt.Sprintf("network: credit out port %d with no link", p))
 		}
-		n.wheel.schedule(at, event{credit: true, node: nb, port: topology.Opposite(p), vc: v})
+		n.credits.schedule(at, creditEvent{node: l.node, port: l.port, vc: v})
 	}
 }
 
@@ -189,50 +295,72 @@ func (n *Network) deliverFunc(node topology.NodeID) router.DeliverFunc {
 	}
 }
 
-// Step advances the network one cycle: deliver due events, let NIs
-// generate and inject, then tick every router.
+// Step advances the network one cycle: deliver due events, let active NIs
+// generate and inject, then tick active routers. Idle components are
+// skipped entirely — a router registers on the active set when a flit is
+// latched into it and deregisters when its buffers drain; an NI
+// deregisters when its source queue and injection streams empty, parking
+// on the wake heap until its traffic process next fires. Skipped
+// components would have done no observable work (an idle router's Tick
+// returns immediately; an idle NI's tick only polls its injector), so the
+// active-set kernel is cycle-for-cycle identical to ticking everything.
 func (n *Network) Step() {
 	now := n.now
-	for _, e := range n.wheel.take(now) {
-		switch {
-		case e.credit && e.toNI:
+	for n.wakes.len() > 0 && n.wakes.top().at <= now {
+		n.actNIs.add(topology.NodeID(n.wakes.pop().node))
+	}
+
+	for _, e := range n.credits.take(now) {
+		if e.toNI {
 			n.nis[e.node].acceptCredit(e.vc)
-		case e.credit:
+		} else {
 			n.routers[e.node].AcceptCredit(e.port, e.vc)
-		default:
-			n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
 		}
 	}
-	for _, ni := range n.nis {
-		ni.tick(now)
+	evs := n.flits.take(now)
+	for i := range evs {
+		e := &evs[i]
+		n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
+		n.totalOcc++
+		n.lastOcc[e.node]++
+		n.actRouters.add(e.node)
 	}
-	for _, r := range n.routers {
-		r.Tick(now)
-	}
+
+	n.actNIs.forEach(func(id int32) bool {
+		x := n.nis[id]
+		before := x.pending()
+		x.tick(now)
+		after := x.pending()
+		n.totalQueued += after - before
+		if after > 0 {
+			return true
+		}
+		if at, ok := x.nextWake(); ok {
+			n.wakes.push(wake{at: at, node: id})
+		}
+		return false
+	})
+
+	n.actRouters.forEach(func(id int32) bool {
+		occ := n.routers[id].Tick(now)
+		n.totalOcc += occ - int(n.lastOcc[id])
+		n.lastOcc[id] = int32(occ)
+		return occ > 0
+	})
 	n.now++
 }
 
 // Now returns the current cycle.
 func (n *Network) Now() int64 { return n.now }
 
-// Occupancy returns the number of flits buffered across all routers.
-func (n *Network) Occupancy() int {
-	total := 0
-	for _, r := range n.routers {
-		total += r.Occupancy()
-	}
-	return total
-}
+// Occupancy returns the number of flits buffered across all routers,
+// maintained incrementally (it must always equal the sum of per-router
+// occupancies; tests assert this).
+func (n *Network) Occupancy() int { return n.totalOcc }
 
 // QueuedMessages returns the number of messages waiting or streaming in
-// source queues.
-func (n *Network) QueuedMessages() int {
-	total := 0
-	for _, ni := range n.nis {
-		total += ni.pending()
-	}
-	return total
-}
+// source queues, maintained incrementally.
+func (n *Network) QueuedMessages() int { return n.totalQueued }
 
 // Delivered returns the number of fully delivered messages.
 func (n *Network) Delivered() int64 { return n.delivered }
@@ -319,6 +447,12 @@ func (n *Network) Run(p RunParams) *stats.Run {
 	measuredDone := 0
 	var firstDeliver, lastDeliver int64 = -1, -1
 	lastProgress := n.now
+
+	// Inside Run no caller can retain message pointers past the arrival
+	// callback, so delivered messages are recycled through the pool for
+	// the whole warmup+measure loop.
+	n.recycle = true
+	defer func() { n.recycle = false }()
 
 	n.onArrive = func(msg *flow.Message, now int64) {
 		lastProgress = now

@@ -49,10 +49,9 @@ func singleMessage(t *testing.T, lookAhead bool, msgLen int) int64 {
 	cfg := testConfig(m, lookAhead, table.KindFull, selection.StaticXY, pat, 0, 1)
 	cfg.MsgLen = msgLen
 	n := New(cfg)
-	ni := n.nis[pat.src]
 	msg := &flow.Message{ID: 0, Src: pat.src, Dst: pat.dst, Length: msgLen, CreateTime: 0}
 	n.nextMsg = 1
-	ni.queue = append(ni.queue, msg)
+	n.inject(msg)
 	var arrived int64 = -1
 	n.onArrive = func(m *flow.Message, now int64) { arrived = m.ArriveTime - m.CreateTime }
 	for i := 0; i < 300 && arrived < 0; i++ {

@@ -56,7 +56,10 @@ func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
 	return x
 }
 
-// pending returns messages queued or mid-injection.
+// pending returns messages queued or mid-injection. A zero return means
+// the NI is quiescent: its tick would do nothing until the traffic
+// process next fires (nextWake), which is what lets the network park it
+// off the active set.
 func (x *ni) pending() int {
 	n := len(x.queue) - x.qHead
 	for _, s := range x.streams {
@@ -67,19 +70,48 @@ func (x *ni) pending() int {
 	return n
 }
 
+// nextWake returns the cycle the NI's traffic process next produces a
+// message, or false when it never will again.
+func (x *ni) nextWake() (int64, bool) {
+	if x.trace != nil {
+		return x.trace.NextAt()
+	}
+	return x.inj.NextAt()
+}
+
+// inject seeds a message directly into its source node's queue, bypassing
+// the traffic process. It keeps the active-set and queued-message
+// bookkeeping coherent, which appending to the queue directly would not;
+// tests that hand-craft messages must use it.
+func (n *Network) inject(msg *flow.Message) {
+	n.nis[msg.Src].queue = append(n.nis[msg.Src].queue, msg)
+	n.totalQueued++
+	n.actNIs.add(msg.Src)
+}
+
+// newMessage takes a message from the delivery pool, or allocates one.
+func (n *Network) newMessage() *flow.Message {
+	if k := len(n.msgFree); k > 0 {
+		msg := n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		*msg = flow.Message{}
+		return msg
+	}
+	return &flow.Message{}
+}
+
 // tick generates due messages, binds queued messages to free injection
 // VCs, and injects at most one flit (the injection channel is one flit
 // wide, like every physical channel).
 func (x *ni) tick(now int64) {
 	if x.trace != nil {
 		for _, tm := range x.trace.Due(now) {
-			msg := &flow.Message{
-				ID:         x.net.nextMsg,
-				Src:        tm.Src,
-				Dst:        tm.Dst,
-				Length:     tm.Length,
-				CreateTime: now,
-			}
+			msg := x.net.newMessage()
+			msg.ID = x.net.nextMsg
+			msg.Src = tm.Src
+			msg.Dst = tm.Dst
+			msg.Length = tm.Length
+			msg.CreateTime = now
 			x.net.nextMsg++
 			x.queue = append(x.queue, msg)
 		}
@@ -89,13 +121,12 @@ func (x *ni) tick(now int64) {
 			if !ok {
 				continue
 			}
-			msg := &flow.Message{
-				ID:         x.net.nextMsg,
-				Src:        x.node,
-				Dst:        dst,
-				Length:     x.net.cfg.MsgLen,
-				CreateTime: now,
-			}
+			msg := x.net.newMessage()
+			msg.ID = x.net.nextMsg
+			msg.Src = x.node
+			msg.Dst = dst
+			msg.Length = x.net.cfg.MsgLen
+			msg.CreateTime = now
 			x.net.nextMsg++
 			x.queue = append(x.queue, msg)
 		}
@@ -137,12 +168,12 @@ func (x *ni) tick(now int64) {
 		if fl.Type.IsHead() {
 			s.msg.InjectTime = now
 			if x.net.cfg.Router.LookAhead {
-				fl.Route = x.r.Table().Lookup(s.msg.Dst, 0)
+				s.msg.Route = x.r.Table().Lookup(s.msg.Dst, 0)
 			}
 		}
 		// One-cycle injection wire: the flit is latched into the
 		// router's local input buffer next cycle.
-		x.net.wheel.schedule(now+1, event{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl})
+		x.net.flits.schedule(now+1, flitEvent{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl})
 		x.credits[v]--
 		s.seq++
 		if fl.Type.IsTail() {
@@ -171,6 +202,13 @@ func (x *ni) deliver(fl flow.Flit, now int64) {
 		x.net.delivered++
 		if x.net.onArrive != nil {
 			x.net.onArrive(fl.Msg, now)
+		}
+		// The tail is the last live reference to the message inside the
+		// network: earlier flits preceded it through every buffer, and
+		// popped fifo slots are never read again before being
+		// overwritten. After the arrival callback it can be pooled.
+		if x.net.recycle {
+			x.net.msgFree = append(x.net.msgFree, fl.Msg)
 		}
 	}
 }

@@ -1,0 +1,49 @@
+package network
+
+import "testing"
+
+// Regression test for the timing-wheel aliasing hazard: take used to
+// return w.slots[i] and truncate it in place, so a schedule landing in
+// the same slot while the caller was still iterating the returned slice
+// would overwrite events under iteration. take now swaps in a spare
+// buffer, transferring ownership of the returned slice to the caller for
+// the cycle.
+func TestWheelTakeOwnership(t *testing.T) {
+	w := newWheel[creditEvent](3)
+	period := int64(len(w.slots)) // same slot index one full rotation later
+
+	w.schedule(0, creditEvent{node: 1})
+	w.schedule(0, creditEvent{node: 2})
+	evs := w.take(0)
+	if len(evs) != 2 {
+		t.Fatalf("take(0) = %d events, want 2", len(evs))
+	}
+
+	// A same-slot schedule while evs is live must not clobber it.
+	w.schedule(period, creditEvent{node: 99})
+	if evs[0].node != 1 || evs[1].node != 2 {
+		t.Fatalf("returned events clobbered by same-slot schedule: %+v", evs)
+	}
+
+	got := w.take(period)
+	if len(got) != 1 || got[0].node != 99 {
+		t.Fatalf("take(period) = %+v, want the one rescheduled event", got)
+	}
+}
+
+// The wheel must reuse buffers in steady state: after the ring has seen
+// traffic in every slot, schedule/take cycles allocate nothing.
+func TestWheelSteadyStateNoAllocs(t *testing.T) {
+	w := newWheel[flitEvent](3)
+	for at := int64(0); at < int64(2*len(w.slots)); at++ {
+		w.schedule(at, flitEvent{node: 7})
+		w.take(at)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		w.schedule(5, flitEvent{node: 3})
+		w.take(5)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state wheel allocates %v allocs/op, want 0", avg)
+	}
+}

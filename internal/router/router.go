@@ -17,6 +17,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lapses/internal/arbiter"
 	"lapses/internal/flow"
@@ -100,14 +101,8 @@ type inputVC struct {
 	route    flow.RouteSet
 	outPort  topology.Port
 	outVC    flow.VCID
+	outIdx   int32 // index of the claimed output VC in Router.out
 	dateline uint8
-}
-
-// outEntry is a flit staged in an output buffer with its OUT-stage ready
-// time.
-type outEntry struct {
-	fl      flow.Flit
-	readyAt int64
 }
 
 // outputVC is the state of one output virtual channel.
@@ -138,10 +133,31 @@ type Router struct {
 	in    []inputVC
 	out   []outputVC
 	meta  []portMeta
-	xbArb []*arbiter.RoundRobin // per output port, over all input VC indices
-	muxAr []*arbiter.RoundRobin // per output port, over its output VCs
-	vcArb []*arbiter.RoundRobin // per output port, over VCs, for allocation
-	saRot int                   // rotating start for SA scans
+	xbArb []arbiter.RoundRobin // per output port, over all input VC indices
+	muxAr []arbiter.RoundRobin // per output port, over its output VCs
+	vcArb []arbiter.RoundRobin // per output port, over VCs, for allocation
+	saRot int                  // rotating start for SA scans
+
+	// Work masks let each pipeline stage visit only the VCs with work
+	// instead of scanning every input/output VC each cycle. Bit i of
+	// actRC/actSA/actXB is set when input VC i is in phaseRouting/
+	// phaseWaitSA/phaseActive; bit j of boxed when output VC j's box is
+	// nonempty. Indices fit in 64 bits because the crossbar arbiter
+	// (NewRoundRobin over ports*VCs) already caps the router at 64 input
+	// VCs.
+	actRC uint64
+	actSA uint64
+	actXB uint64
+	boxed uint64
+	// boxFull mirrors "output box at capacity" per output VC so the
+	// crossbar scan can test a bit instead of loading the box state.
+	boxFull uint64
+
+	// portOf and vcBase map a VC index (inIdx) back to its physical port
+	// and the first index of that port's VC group, replacing the per-flit
+	// divisions the hot stages would otherwise pay.
+	portOf []int8
+	vcBase []int16
 
 	send    SendFunc
 	credit  CreditFunc
@@ -170,25 +186,41 @@ func New(id topology.NodeID, m *topology.Mesh, cfg Config, tbl table.Table, sel 
 		in:    make([]inputVC, np*cfg.NumVCs),
 		out:   make([]outputVC, np*cfg.NumVCs),
 		meta:  make([]portMeta, np),
-		xbArb: make([]*arbiter.RoundRobin, np),
-		muxAr: make([]*arbiter.RoundRobin, np),
-		vcArb: make([]*arbiter.RoundRobin, np),
 	}
+	arbSlab := make([]arbiter.RoundRobin, 3*np)
+	r.xbArb, r.muxAr, r.vcArb = arbSlab[:np], arbSlab[np:2*np], arbSlab[2*np:]
+	// Slab-allocate initial buffer storage for the router in two
+	// contiguous blocks, so construction is two allocations instead of
+	// one per VC and a router's working set is dense in the cache. Input
+	// buffers start at a fraction of their credit depth and grow on
+	// demand (see fifo).
+	seed := cfg.BufDepth
+	if seed > 4 {
+		seed = 4
+	}
+	inSlab := make([]flow.Flit, len(r.in)*seed)
 	for i := range r.in {
-		r.in[i].buf.init(cfg.BufDepth)
+		r.in[i].buf.init(inSlab[i*seed:(i+1)*seed], cfg.BufDepth)
 	}
+	outSlab := make([]flow.Flit, len(r.out)*cfg.OutDepth)
 	for i := range r.out {
 		r.out[i].owner = -1
 		r.out[i].credits = cfg.BufDepth
-		r.out[i].box.init(cfg.OutDepth)
+		r.out[i].box.init(outSlab[i*cfg.OutDepth : (i+1)*cfg.OutDepth])
 	}
 	for p := 0; p < np; p++ {
-		r.xbArb[p] = arbiter.NewRoundRobin(np * cfg.NumVCs)
-		r.muxAr[p] = arbiter.NewRoundRobin(cfg.NumVCs)
-		r.vcArb[p] = arbiter.NewRoundRobin(cfg.NumVCs)
+		r.xbArb[p] = arbiter.MakeRoundRobin(np * cfg.NumVCs)
+		r.muxAr[p] = arbiter.MakeRoundRobin(cfg.NumVCs)
+		r.vcArb[p] = arbiter.MakeRoundRobin(cfg.NumVCs)
 	}
 	for p := range r.meta {
 		r.meta[p].lastUsed = -1
+	}
+	r.portOf = make([]int8, len(r.in))
+	r.vcBase = make([]int16, len(r.in))
+	for i := range r.in {
+		r.portOf[i] = int8(i / cfg.NumVCs)
+		r.vcBase[i] = int16(i / cfg.NumVCs * cfg.NumVCs)
 	}
 	return r
 }
@@ -218,24 +250,26 @@ func (r *Router) EnqueueFlit(p topology.Port, v flow.VCID, fl flow.Flit, now int
 	if ivc.buf.full() {
 		panic(fmt.Sprintf("router %d: input buffer overflow on port %d vc %d (credit protocol violated)", r.id, p, v))
 	}
-	ivc.buf.push(fl, now+1)
+	ivc.buf.push(fl, now)
 	r.occupancy++
 	if ivc.phase == phaseIdle && fl.Type.IsHead() {
-		r.startHeader(ivc, fl, now)
+		r.startHeader(idx, ivc, fl, now)
 	}
 }
 
 // startHeader moves an idle input VC into the routing pipeline for the
 // header now at the front of its buffer.
-func (r *Router) startHeader(ivc *inputVC, fl flow.Flit, now int64) {
-	ivc.dateline = fl.Dateline
+func (r *Router) startHeader(idx int, ivc *inputVC, fl flow.Flit, now int64) {
+	ivc.dateline = fl.Msg.Dateline
 	if r.cfg.LookAhead {
 		// The header carries the candidates valid here; lookup has
 		// already happened upstream, concurrently with arbitration.
-		ivc.route = fl.Route
+		ivc.route = fl.Msg.Route
 		ivc.phase = phaseWaitSA
+		r.actSA |= 1 << idx
 	} else {
 		ivc.phase = phaseRouting
+		r.actRC |= 1 << idx
 	}
 	ivc.readyAt = now + 1
 }
@@ -249,35 +283,47 @@ func (r *Router) AcceptCredit(p topology.Port, v flow.VCID) {
 	}
 }
 
-// Tick advances the router by one cycle. The network must deliver all
-// flits and credits due at cycle now before calling Tick(now).
-func (r *Router) Tick(now int64) {
+// Tick advances the router by one cycle and returns its remaining
+// occupancy, reporting idle (0) or active (>0) so the network's
+// active-set scheduler can deregister drained routers without a separate
+// scan (Active answers the same question without ticking). The network
+// must deliver all flits and credits due at cycle now before calling
+// Tick(now).
+func (r *Router) Tick(now int64) int {
 	if r.occupancy == 0 {
 		// Nothing buffered anywhere: every stage would scan and find
 		// no work. (A VC waiting in RC/SA always holds its header in
 		// the input buffer, so occupancy covers those states too.)
-		return
+		return 0
 	}
 	r.stageRC(now)
 	r.stageSA(now)
 	r.stageXB(now)
 	r.stageOUT(now)
+	return r.occupancy
 }
+
+// Active reports whether the router has any buffered flits — the cheap
+// "has work" predicate behind the network's active-set scheduling.
+func (r *Router) Active() bool { return r.occupancy > 0 }
 
 // stageRC performs the table-lookup stage for PROUD headers.
 func (r *Router) stageRC(now int64) {
 	if r.cfg.LookAhead {
 		return
 	}
-	for i := range r.in {
+	for m := r.actRC; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		ivc := &r.in[i]
-		if ivc.phase != phaseRouting || ivc.readyAt > now {
+		if ivc.readyAt > now {
 			continue
 		}
 		hdr := ivc.buf.peek()
-		ivc.route = r.tbl.Lookup(hdr.fl.Msg.Dst, ivc.dateline)
+		ivc.route = r.tbl.Lookup(hdr.Msg.Dst, ivc.dateline)
 		ivc.phase = phaseWaitSA
 		ivc.readyAt = now + 1
+		r.actRC &^= 1 << i
+		r.actSA |= 1 << i
 	}
 }
 
@@ -285,21 +331,31 @@ func (r *Router) stageRC(now int64) {
 // waiting headers. Input VCs are scanned from a rotating offset so no VC
 // is structurally favored; a claim takes effect immediately, so later VCs
 // in the same cycle see it — sequential arbitration with rotating
-// priority.
+// priority. The rotation advances every cycle the stage runs, whether or
+// not any header waits, matching the pre-mask scan order exactly.
 func (r *Router) stageSA(now int64) {
-	n := len(r.in)
 	start := r.saRot
 	r.saRot++
-	if r.saRot == n {
+	if r.saRot == len(r.in) {
 		r.saRot = 0
 	}
-	for off := 0; off < n; off++ {
-		i := start + off
-		if i >= n {
-			i -= n
-		}
+	if r.actSA == 0 {
+		return
+	}
+	// Visit waiting VCs at indices >= start first, then the wraparound —
+	// the same order the rotating full scan produced.
+	for m := r.actSA &^ (1<<start - 1); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		ivc := &r.in[i]
-		if ivc.phase != phaseWaitSA || ivc.readyAt > now {
+		if ivc.readyAt > now {
+			continue
+		}
+		r.tryAllocate(i, ivc, now)
+	}
+	for m := r.actSA & (1<<start - 1); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		ivc := &r.in[i]
+		if ivc.readyAt > now {
 			continue
 		}
 		r.tryAllocate(i, ivc, now)
@@ -315,7 +371,7 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	// to absorb the entire message before the header may claim the VC.
 	needCredits := 0
 	if r.cfg.CutThrough {
-		needCredits = int(ivc.buf.peek().fl.Msg.Length)
+		needCredits = int(ivc.buf.peek().Msg.Length)
 		if needCredits > r.cfg.BufDepth {
 			panic(fmt.Sprintf("router %d: cut-through message of %d flits exceeds buffer depth %d",
 				r.id, needCredits, r.cfg.BufDepth))
@@ -361,21 +417,26 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	v := r.claimVC(cand.Port, mask, needCredits, int32(idx))
 	ivc.outPort = cand.Port
 	ivc.outVC = v
+	ivc.outIdx = int32(r.inIdx(cand.Port, v))
 	ivc.phase = phaseActive
 	ivc.readyAt = now + 1
+	r.actSA &^= 1 << idx
+	r.actXB |= 1 << idx
 
 	// New header generation (concurrent with crossbar traversal in the
 	// hardware): compute the dateline state after this hop and, in
-	// look-ahead mode, the candidate set for the next router.
-	hdr := ivc.buf.peek()
+	// look-ahead mode, the candidate set for the next router. Both are
+	// written to the message's header slot, which the next router's input
+	// stage reads strictly after this (see flow.Message.Route).
+	msg := ivc.buf.peek().Msg
 	if cand.Port != topology.PortLocal {
 		next := ivc.dateline
 		if r.wrap {
 			next = nextDatelineBit(r.mesh, r.id, cand.Port, next)
 		}
-		hdr.fl.Dateline = next
+		msg.Dateline = next
 		if r.cfg.LookAhead {
-			hdr.fl.Route = r.tbl.LookupAt(cand.Port, hdr.fl.Msg.Dst, next)
+			msg.Route = r.tbl.LookupAt(cand.Port, msg.Dst, next)
 		}
 	}
 }
@@ -435,15 +496,16 @@ func (r *Router) claimVC(p topology.Port, mask flow.VCMask, needCredits int, own
 func (r *Router) stageXB(now int64) {
 	var reqs [16]uint64 // per output port, bitmask over input VC indices
 	any := false
-	for i := range r.in {
+	for m := r.actXB; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		ivc := &r.in[i]
-		if ivc.phase != phaseActive || ivc.readyAt > now || ivc.buf.empty() {
+		if ivc.readyAt > now || ivc.buf.empty() {
 			continue
 		}
-		if ivc.buf.peek().readyAt > now {
+		if !ivc.buf.headReady(now) {
 			continue
 		}
-		if r.out[r.inIdx(ivc.outPort, ivc.outVC)].box.full() {
+		if r.boxFull&(1<<ivc.outIdx) != 0 {
 			continue
 		}
 		reqs[ivc.outPort] |= 1 << i
@@ -458,7 +520,7 @@ func (r *Router) stageXB(now int64) {
 		}
 		g := r.xbArb[op].Grant(reqs[op])
 		ivc := &r.in[g]
-		r.traverse(g, &r.out[r.inIdx(ivc.outPort, ivc.outVC)], now)
+		r.traverse(g, &r.out[ivc.outIdx], now)
 	}
 }
 
@@ -468,21 +530,26 @@ func (r *Router) traverse(inIdx int, ovc *outputVC, now int64) {
 	ivc := &r.in[inIdx]
 	fl := ivc.buf.pop()
 	// Propagate the header fields computed at SA to the stored copy.
-	ovc.box.push(outEntry{fl: fl, readyAt: now + 1})
+	ovc.box.push(fl, now)
+	r.boxed |= 1 << ivc.outIdx
+	if ovc.box.full() {
+		r.boxFull |= 1 << ivc.outIdx
+	}
 	// Return the freed buffer slot upstream.
-	p := topology.Port(inIdx / r.cfg.NumVCs)
-	v := flow.VCID(inIdx % r.cfg.NumVCs)
+	p := topology.Port(r.portOf[inIdx])
+	v := flow.VCID(inIdx - int(r.vcBase[inIdx]))
 	r.credit(r.id, p, v, now)
 	if fl.Type.IsTail() {
 		// The worm has fully left this input VC.
 		ivc.phase = phaseIdle
 		ivc.route = flow.RouteSet{}
+		r.actXB &^= 1 << inIdx
 		if !ivc.buf.empty() {
 			nxt := ivc.buf.peek()
-			if !nxt.fl.Type.IsHead() {
+			if !nxt.Type.IsHead() {
 				panic("router: non-head flit follows tail in input buffer")
 			}
-			r.startHeader(ivc, nxt.fl, now)
+			r.startHeader(inIdx, ivc, *nxt, now)
 		}
 	} else {
 		ivc.readyAt = now + 1
@@ -492,42 +559,50 @@ func (r *Router) traverse(inIdx int, ovc *outputVC, now int64) {
 // stageOUT performs the VC-multiplex / output stage: per physical port,
 // one flit with credit is placed on the link (or delivered locally).
 func (r *Router) stageOUT(now int64) {
-	for p := 0; p < r.ports; p++ {
-		base := p * r.cfg.NumVCs
+	// Visit only ports with boxed flits, ascending — the same port order
+	// as the full scan, with empty ports (which never touched their
+	// arbiter) skipped for free.
+	for bm := r.boxed; bm != 0; {
+		lowest := bits.TrailingZeros64(bm)
+		base := int(r.vcBase[lowest])
+		p := int(r.portOf[lowest])
+		group := (uint64(1)<<r.cfg.NumVCs - 1) << base
 		var reqs uint64
-		for v := 0; v < r.cfg.NumVCs; v++ {
-			ovc := &r.out[base+v]
-			if ovc.box.empty() {
-				continue
-			}
-			e := ovc.box.peek()
-			if e.readyAt > now {
+		for m := bm & group; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			ovc := &r.out[j]
+			if !ovc.box.headReady(now) {
 				continue
 			}
 			if p != int(topology.PortLocal) && ovc.credits == 0 {
 				continue
 			}
-			reqs |= 1 << v
+			reqs |= 1 << (j - base)
 		}
+		bm &^= group
 		if reqs == 0 {
 			continue
 		}
 		g := r.muxAr[p].Grant(reqs)
 		ovc := &r.out[base+g]
-		e := ovc.box.pop()
+		fl := ovc.box.pop()
+		r.boxFull &^= 1 << (base + g)
+		if ovc.box.empty() {
+			r.boxed &^= 1 << (base + g)
+		}
 		r.occupancy--
 		r.meta[p].useCount++
 		r.meta[p].lastUsed = now
 		if p == int(topology.PortLocal) {
-			r.deliver(e.fl, now)
+			r.deliver(fl, now)
 		} else {
 			ovc.credits--
-			if e.fl.Type.IsHead() {
-				e.fl.Msg.Hops++
+			if fl.Type.IsHead() {
+				fl.Msg.Hops++
 			}
-			r.send(r.id, topology.Port(p), flow.VCID(g), e.fl, now)
+			r.send(r.id, topology.Port(p), flow.VCID(g), fl, now)
 		}
-		if e.fl.Type.IsTail() {
+		if fl.Type.IsTail() {
 			ovc.owner = -1
 			r.meta[p].busyVCs--
 		}

@@ -19,7 +19,7 @@ func TestPROUDIgnoresHeaderRoute(t *testing.T) {
 	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 1)
 	fl := mkFlit(msg, 0)
 	// Poison the header with a bogus route pointing the wrong way.
-	fl.Route.Add(flow.Candidate{Port: topology.PortMinus(1), Adaptive: flow.MaskAll(4)})
+	fl.Msg.Route.Add(flow.Candidate{Port: topology.PortMinus(1), Adaptive: flow.MaskAll(4)})
 	h.r.EnqueueFlit(topology.PortMinus(0), 0, fl, 0)
 	h.run(0, 10)
 	s := h.sends()
@@ -40,7 +40,7 @@ func TestLATrustsHeaderRoute(t *testing.T) {
 	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 1)
 	fl := mkFlit(msg, 0)
 	// Header says +Y although XY would say +X.
-	fl.Route.Add(flow.Candidate{Port: topology.PortPlus(1), Adaptive: flow.MaskAll(4)})
+	fl.Msg.Route.Add(flow.Candidate{Port: topology.PortPlus(1), Adaptive: flow.MaskAll(4)})
 	h.r.EnqueueFlit(topology.PortMinus(0), 0, fl, 0)
 	h.run(0, 10)
 	s := h.sends()
@@ -186,7 +186,7 @@ func TestDatelineBitSetOnWrap(t *testing.T) {
 	if len(s) != 1 || s[0].port != topology.PortPlus(0) {
 		t.Fatalf("unexpected route: %+v", s)
 	}
-	if s[0].fl.Dateline&1 == 0 {
+	if s[0].fl.Msg.Dateline&1 == 0 {
 		t.Error("dateline bit not set on wrap crossing")
 	}
 }

@@ -72,7 +72,7 @@ func TestQuickRouterInvariants(t *testing.T) {
 			for s := 0; s < length; s++ {
 				fl := flow.Flit{Msg: msg, Seq: int32(s), Type: flow.TypeFor(s, length)}
 				if fl.Type.IsHead() && cfg.LookAhead {
-					fl.Route = alg.Route(node, dst, 0)
+					msg.Route = alg.Route(node, dst, 0)
 				}
 				fls = append(fls, fl)
 			}

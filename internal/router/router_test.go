@@ -114,7 +114,7 @@ func TestLAPROUDHeaderTiming(t *testing.T) {
 	msg := mkMsg(1, 0, m.ID(topology.Coord{2, 1}), 1)
 	fl := mkFlit(msg, 0)
 	// The LA header carries the candidates valid at this router.
-	fl.Route = alg.Route(node, msg.Dst, 0)
+	msg.Route = alg.Route(node, msg.Dst, 0)
 	h.r.EnqueueFlit(topology.PortMinus(0), 0, fl, 0)
 	h.run(0, 10)
 	s := h.sends()
@@ -300,7 +300,7 @@ func TestLAHeaderRegeneration(t *testing.T) {
 	dst := m.ID(topology.Coord{3, 3})
 	msg := mkMsg(1, 0, dst, 1)
 	fl := mkFlit(msg, 0)
-	fl.Route = alg.Route(node, dst, 0)
+	msg.Route = alg.Route(node, dst, 0)
 	h.r.EnqueueFlit(topology.PortMinus(0), 1, fl, 0)
 	h.run(0, 10)
 	s := h.sends()
@@ -309,8 +309,8 @@ func TestLAHeaderRegeneration(t *testing.T) {
 	}
 	nb, _ := m.Neighbor(node, s[0].port)
 	want := alg.Route(nb, dst, 0)
-	if !s[0].fl.Route.Equal(want) {
-		t.Errorf("LA header route %v want %v", s[0].fl.Route, want)
+	if !s[0].fl.Msg.Route.Equal(want) {
+		t.Errorf("LA header route %v want %v", s[0].fl.Msg.Route, want)
 	}
 }
 

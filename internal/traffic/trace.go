@@ -100,6 +100,17 @@ func (c *TraceCursor) Due(now int64) []TraceMsg {
 	return c.queue[start:c.next]
 }
 
+// NextAt returns the injection cycle of the next unreleased message, or
+// false when the cursor is exhausted. Like Injector.NextAt, it lets an
+// idle consumer sleep until the next message is due instead of polling
+// Due every cycle.
+func (c *TraceCursor) NextAt() (int64, bool) {
+	if c.next >= len(c.queue) {
+		return 0, false
+	}
+	return c.queue[c.next].At, true
+}
+
 // Remaining returns how many messages the cursor has not yet released.
 func (c *TraceCursor) Remaining() int { return len(c.queue) - c.next }
 

@@ -235,9 +235,10 @@ type Injector struct {
 
 // NewInjector returns an injector generating messages at the given rate
 // (messages/cycle) with exponential inter-arrival times. A rate of zero
-// never fires.
+// never fires. The generator is a cached-seed replica of math/rand's
+// source (see rng.go), producing identical streams to rand.NewSource.
 func NewInjector(rate float64, seed int64) *Injector {
-	inj := &Injector{rate: rate, rng: rand.New(rand.NewSource(seed))}
+	inj := &Injector{rate: rate, rng: rand.New(newFibSource(seed))}
 	if rate > 0 {
 		inj.next = inj.rng.ExpFloat64() / rate
 	}
@@ -247,6 +248,18 @@ func NewInjector(rate float64, seed int64) *Injector {
 // RNG exposes the injector's random stream for destination draws so one
 // node's process stays a single deterministic stream.
 func (inj *Injector) RNG() *rand.Rand { return inj.rng }
+
+// NextAt returns the cycle of the next arrival — the first t for which
+// Due(t) would report a message — or false when the process never fires.
+// Peeking does not advance the process, so a caller may sleep until the
+// returned cycle and observe exactly the arrivals a per-cycle Due poll
+// would have seen.
+func (inj *Injector) NextAt() (int64, bool) {
+	if inj.rate <= 0 {
+		return 0, false
+	}
+	return int64(inj.next), true
+}
 
 // Due reports how many messages fire at cycle now, advancing the process.
 func (inj *Injector) Due(now int64) int {
