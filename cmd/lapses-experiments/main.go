@@ -85,7 +85,7 @@ func main() {
 
 func hasCSV(name string) bool {
 	switch name {
-	case "fig5", "table3", "fig6", "table4":
+	case "fig5", "table3", "fig6", "table4", "resilience":
 		return true
 	}
 	return false

@@ -7,6 +7,14 @@
 // Or a deterministic router without look-ahead on transpose traffic:
 //
 //	lapses-sim -alg xy -lookahead=false -pattern transpose -load 0.3
+//
+// Degraded topologies come from -faults: an integer draws that many
+// random link failures (seeded by -fault-seed, always leaving the network
+// connected), while an explicit plan names links by their endpoints and
+// routers with an r prefix:
+//
+//	lapses-sim -load 0.3 -faults 4 -fault-seed 7
+//	lapses-sim -load 0.3 -faults 12-13,40-41,r77
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"lapses/internal/core"
+	"lapses/internal/fault"
 	"lapses/internal/selection"
 	"lapses/internal/table"
 	"lapses/internal/traffic"
@@ -42,6 +51,8 @@ func main() {
 	warmup := flag.Int("warmup", cfg.Warmup, "warm-up messages (excluded from stats)")
 	measure := flag.Int("measure", cfg.Measure, "measured messages")
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	faults := flag.String("faults", "", "fault plan: a count of random link failures, or an explicit \"A-B,...,rN\" spec")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for random fault plans")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -79,6 +90,11 @@ func main() {
 	}
 	cfg.Load, cfg.MsgLen = *load, *msgLen
 	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
+	if *faults != "" {
+		if cfg.Faults, err = parseFaults(cfg, *faults, *faultSeed); err != nil {
+			fatal(err)
+		}
+	}
 
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -89,6 +105,10 @@ func main() {
 	fmt.Printf("router         %s, %s routing, %s table, %s selection\n",
 		pipeName(cfg.LookAhead), cfg.Algorithm, cfg.Table, cfg.Selection)
 	fmt.Printf("workload       %s, load %.2f, %d-flit messages\n", cfg.Pattern, cfg.Load, cfg.MsgLen)
+	if !cfg.Faults.Empty() {
+		fmt.Printf("faults         %d links, %d routers down: %s\n",
+			cfg.Faults.NumLinks(), cfg.Faults.NumRouters(), cfg.Faults.Key())
+	}
 	fmt.Printf("avg latency    %s cycles (95%% CI +/- %.2f)\n", res.LatencyString(), res.CI95)
 	fmt.Printf("percentiles    p50 %.0f / p95 %.0f / p99 %.0f cycles\n", res.P50, res.P95, res.P99)
 	fmt.Printf("net latency    %.1f cycles (excl. source queueing)\n", res.NetLatency)
@@ -117,6 +137,17 @@ func pipeName(la bool) string {
 		return "LA-PROUD (4-stage)"
 	}
 	return "PROUD (5-stage)"
+}
+
+// parseFaults builds the fault plan: a bare integer draws that many
+// random link failures (connectivity-preserving), anything else is an
+// explicit fault.Parse spec.
+func parseFaults(cfg core.Config, spec string, seed int64) (*fault.Plan, error) {
+	m := cfg.Mesh()
+	if n, err := strconv.Atoi(strings.TrimSpace(spec)); err == nil {
+		return fault.Random(m, n, 0, seed)
+	}
+	return fault.Parse(m, spec)
 }
 
 func parseDims(s string) ([]int, error) {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"lapses/internal/fault"
 	"lapses/internal/network"
 	"lapses/internal/router"
 	"lapses/internal/routing"
@@ -89,6 +90,17 @@ type Config struct {
 	// Dims are the mesh radices (Table 2: 16x16); Torus adds wraparound.
 	Dims  []int
 	Torus bool
+
+	// Faults, when non-nil and non-empty, degrades the topology per the
+	// plan: failed links carry nothing, failed routers inject nothing and
+	// attract no traffic, and the routing policy is recomputed over the
+	// live graph (Duato keeps its adaptive VCs on distance-reducing live
+	// ports with an up*/down* escape; every deterministic algorithm
+	// becomes the up*/down* function itself, the turns that remain legal
+	// around the damage). Run fails with a descriptive error when the
+	// plan disconnects the live network. Load stays normalized to the
+	// healthy bisection so series over fault counts share an x-axis.
+	Faults *fault.Plan
 
 	// VCs per physical channel (Table 2: 4) and how many of them form
 	// the escape class for Duato routing (1 on meshes, 2 on tori).
@@ -196,6 +208,13 @@ func (c Config) Key() string {
 	fmt.Fprintf(&b, ",ld%x,ml%d,tr%p,w%d,m%d,mc%d,sl%x,sd%d",
 		math.Float64bits(c.Load), c.MsgLen, c.Trace,
 		c.Warmup, c.Measure, c.MaxCycles, math.Float64bits(c.SatLatency), c.Seed)
+	// The fault plan is keyed by canonical content, so equal damage from
+	// different Plan pointers memoizes together and any difference in
+	// damage never shares a cache line. Empty plans key like nil: a
+	// zero-fault config is the same simulation either way.
+	if !c.Faults.Empty() {
+		fmt.Fprintf(&b, ",f[%s]", c.Faults.Key())
+	}
 	return b.String()
 }
 
@@ -212,21 +231,33 @@ func (c Config) class() routing.Class {
 	return routing.Class{NumVCs: c.VCs, EscapeVCs: esc}
 }
 
-// buildAlgorithm materializes the routing function.
-func (c Config) buildAlgorithm(m *topology.Mesh, cls routing.Class) routing.Algorithm {
+// buildAlgorithm materializes the routing function. Under a non-empty
+// fault plan the healthy algorithms are replaced by their degraded-graph
+// equivalents: Duato keeps fully adaptive VCs over the live minimal
+// directions with an up*/down* escape channel, and every deterministic or
+// turn-model algorithm becomes deterministic up*/down* routing (the turns
+// that remain deadlock-free around arbitrary damage). Construction fails
+// with a descriptive error when the plan disconnects the live network.
+func (c Config) buildAlgorithm(m *topology.Mesh, cls routing.Class) (routing.Algorithm, error) {
+	if !c.Faults.Empty() {
+		if c.Algorithm == AlgDuato {
+			return routing.NewFaultDuato(m, cls, c.Faults)
+		}
+		return routing.NewFaultDimOrder(m, cls, c.Faults)
+	}
 	switch c.Algorithm {
 	case AlgXY:
-		return routing.NewDimOrder(m, cls, nil)
+		return routing.NewDimOrder(m, cls, nil), nil
 	case AlgYX:
-		return routing.NewDimOrder(m, cls, []int{1, 0})
+		return routing.NewDimOrder(m, cls, []int{1, 0}), nil
 	case AlgDuato:
-		return routing.NewDuato(m, cls)
+		return routing.NewDuato(m, cls), nil
 	case AlgNorthLast:
-		return routing.NewNorthLast(m, cls)
+		return routing.NewNorthLast(m, cls), nil
 	case AlgWestFirst:
-		return routing.NewWestFirst(m, cls)
+		return routing.NewWestFirst(m, cls), nil
 	case AlgNegativeFirst:
-		return routing.NewNegativeFirst(m, cls)
+		return routing.NewNegativeFirst(m, cls), nil
 	}
 	panic("core: unknown algorithm")
 }
@@ -259,6 +290,17 @@ func (c Config) Validate() error {
 	}
 	if (c.Table == table.KindMetaRow || c.Table == table.KindMetaBlock) && (len(c.Dims) != 2 || c.Torus) {
 		return fmt.Errorf("core: meta tables require a 2-D mesh")
+	}
+	if !c.Faults.Empty() {
+		if !c.Faults.Fits(c.Mesh()) {
+			return fmt.Errorf("core: fault plan %s was built for a different topology than %s", c.Faults, c.Mesh())
+		}
+		if c.Table == table.KindMetaRow || c.Table == table.KindMetaBlock {
+			return fmt.Errorf("core: meta tables are defined for healthy meshes; use es or full under faults")
+		}
+		if c.Trace != nil && c.Faults.NumRouters() > 0 {
+			return fmt.Errorf("core: trace workloads require fault plans without dead routers (trace endpoints cannot be filtered)")
+		}
 	}
 	return (routing.Class{NumVCs: c.VCs, EscapeVCs: c.EscapeVCs}).Validate()
 }
@@ -315,23 +357,30 @@ type plumbing struct {
 // plumbingCache memoizes plumbing per structural configuration for the
 // lifetime of the process. Sweeps construct thousands of networks that
 // differ only in workload and seed; rebuilding tables for each run used
-// to be a visible fraction of low-load sweep time.
+// to be a visible fraction of low-load sweep time. The key includes the
+// fault plan's canonical content: two runs differing only in damage must
+// never share an algorithm or tables (TestPlumbingKeyedByFaults pins
+// this), while equal damage from distinct Plan values still shares.
 var plumbingCache sync.Map
 
-func (c Config) plumbing() *plumbing {
-	key := fmt.Sprintf("d%v,t%t,v%d,e%d,a%d,tb%d", c.Dims, c.Torus, c.VCs, c.EscapeVCs, int(c.Algorithm), int(c.Table))
+func (c Config) plumbing() (*plumbing, error) {
+	key := fmt.Sprintf("d%v,t%t,v%d,e%d,a%d,tb%d,f[%s]",
+		c.Dims, c.Torus, c.VCs, c.EscapeVCs, int(c.Algorithm), int(c.Table), c.Faults.Key())
 	if v, ok := plumbingCache.Load(key); ok {
-		return v.(*plumbing)
+		return v.(*plumbing), nil
 	}
 	m := c.Mesh()
 	cls := c.class()
-	alg := c.buildAlgorithm(m, cls)
+	alg, err := c.buildAlgorithm(m, cls)
+	if err != nil {
+		return nil, err
+	}
 	tbls := make([]table.Table, m.N())
 	for id := range tbls {
 		tbls[id] = table.Build(c.Table, m, alg, cls, topology.NodeID(id))
 	}
 	v, _ := plumbingCache.LoadOrStore(key, &plumbing{m: m, cls: cls, alg: alg, tbls: tbls})
-	return v.(*plumbing)
+	return v.(*plumbing), nil
 }
 
 // Run builds the network described by cfg and executes the measurement
@@ -340,10 +389,14 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	p := cfg.plumbing()
+	p, err := cfg.plumbing()
+	if err != nil {
+		return Result{}, err
+	}
 	m := p.m
 	ncfg := network.Config{
-		Mesh: m,
+		Mesh:   m,
+		Faults: cfg.Faults,
 		Router: router.Config{
 			NumVCs: cfg.VCs, BufDepth: cfg.BufDepth, OutDepth: cfg.OutDepth,
 			LookAhead: cfg.LookAhead, CutThrough: cfg.CutThrough,

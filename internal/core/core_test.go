@@ -4,8 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"lapses/internal/fault"
 	"lapses/internal/selection"
 	"lapses/internal/table"
+	"lapses/internal/topology"
 	"lapses/internal/traffic"
 )
 
@@ -226,6 +228,13 @@ func TestConfigKey(t *testing.T) {
 	perturb := []func(*Config){
 		func(c *Config) { c.Dims = []int{8, 8} },
 		func(c *Config) { c.Torus = true },
+		func(c *Config) {
+			p, err := fault.New(c.Mesh(), []fault.Link{{Node: 0, Port: topology.PortPlus(0)}}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Faults = p
+		},
 		func(c *Config) { c.VCs = 8 },
 		func(c *Config) { c.EscapeVCs = 2 },
 		func(c *Config) { c.BufDepth = 10 },

@@ -12,11 +12,12 @@ import (
 	"testing"
 
 	"lapses/internal/core"
+	"lapses/internal/fault"
 	"lapses/internal/selection"
 	"lapses/internal/traffic"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_kernel.txt from the current kernel")
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden fixtures from the current kernel")
 
 // goldenGrid pins the configurations the kernel-determinism golden covers:
 // 2 patterns x 3 loads x both pipelines x 2 seeds on an 8x8 mesh. The
@@ -72,8 +73,72 @@ func TestGoldenKernel(t *testing.T) {
 		}
 		got[key] = fingerprint(r)
 	}
+	compareGolden(t, "golden_kernel.txt", "TestGoldenKernel", got)
+}
 
-	path := filepath.Join("testdata", "golden_kernel.txt")
+// goldenFaultGrid pins the degraded-kernel behavior: an 8x8 mesh under
+// two fault plans (a seeded random plan and an explicit links+router
+// plan), 2 loads x both pipelines. Fault-path changes — routing detours,
+// table exceptions, the escape-commit discipline, dead wiring — must
+// reproduce these Results bit for bit or regenerate deliberately.
+func goldenFaultGrid(t *testing.T) (cfgs []core.Config, keys []string) {
+	t.Helper()
+	base := core.DefaultConfig()
+	base.Dims = []int{8, 8}
+	base.Selection = selection.LRU
+	base.Warmup, base.Measure = 100, 1000
+	m := base.Mesh()
+	random, err := fault.Random(m, 4, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := fault.Parse(m, "27-28,35-43,r9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []struct {
+		name string
+		p    *fault.Plan
+	}{{"random4", random}, {"explicit", explicit}}
+	for _, pl := range plans {
+		for _, load := range []float64{0.1, 0.25} {
+			for _, la := range []bool{false, true} {
+				c := base
+				c.Faults = pl.p
+				c.Load = load
+				c.LookAhead = la
+				cfgs = append(cfgs, c)
+				keys = append(keys, fmt.Sprintf("%s/load=%.2f/la=%t", pl.name, load, la))
+			}
+		}
+	}
+	return cfgs, keys
+}
+
+// TestGoldenFaults locks the degraded kernel the way TestGoldenKernel
+// locks the healthy one. Regenerate (only when a semantic change is
+// intended) with: go test ./internal/core -run TestGoldenFaults -update
+func TestGoldenFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fault grid is 8 full runs; skipped under -short")
+	}
+	cfgs, keys := goldenFaultGrid(t)
+	got := make(map[string]string, len(cfgs))
+	for i, c := range cfgs {
+		r, err := core.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", keys[i], err)
+		}
+		got[keys[i]] = fingerprint(r)
+	}
+	compareGolden(t, "golden_faults.txt", "TestGoldenFaults", got)
+}
+
+// compareGolden diffs got against testdata/<file>, or rewrites the
+// fixture under -update.
+func compareGolden(t *testing.T, file, testName string, got map[string]string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
 	if *updateGolden {
 		keys := make([]string, 0, len(got))
 		for k := range got {
@@ -82,7 +147,7 @@ func TestGoldenKernel(t *testing.T) {
 		sort.Strings(keys)
 		var sb strings.Builder
 		sb.WriteString("# Kernel determinism fixture. One line per grid point: <key> <fingerprint>\n")
-		sb.WriteString("# Regenerate: go test ./internal/core -run TestGoldenKernel -update\n")
+		fmt.Fprintf(&sb, "# Regenerate: go test ./internal/core -run %s -update\n", testName)
 		for _, k := range keys {
 			fmt.Fprintf(&sb, "%s\t%s\n", k, got[k])
 		}

@@ -160,6 +160,12 @@ func (r Runner) WriteCSV(ctx context.Context, w io.Writer, name string) error {
 			return err
 		}
 		return Table4CSV(w, rows)
+	case "resilience":
+		rows, err := r.Resilience(ctx)
+		if err != nil {
+			return err
+		}
+		return ResilienceCSV(w, rows)
 	}
 	return fmt.Errorf("experiments: no CSV form for %q", name)
 }

@@ -457,7 +457,7 @@ func RenderTable5(w io.Writer, rows []Table5Row) {
 
 // Names lists the runnable experiment identifiers.
 func Names() []string {
-	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5"}
+	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5", "resilience"}
 }
 
 // RunByName executes one experiment by identifier and renders it to w.
@@ -495,6 +495,12 @@ func (r Runner) RunByName(ctx context.Context, w io.Writer, name string) error {
 		RenderTable5(w, Table5(256, 2))
 		fmt.Fprintln(w)
 		RenderTable5(w, Table5(2048, 3))
+	case "resilience":
+		rows, err := r.Resilience(ctx)
+		if err != nil {
+			return err
+		}
+		RenderResilience(w, rows)
 	default:
 		names := Names()
 		sort.Strings(names)

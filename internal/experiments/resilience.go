@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lapses/internal/core"
+	"lapses/internal/fault"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+// The resilience experiment measures what the paper's adaptivity recipe
+// buys when the network degrades: saturation throughput and mean latency
+// versus the number of failed links, comparing the full LAPSES router
+// (Duato adaptive routing, ES tables, LRU selection) against deterministic
+// routing over the same damage. Both run the identical degraded topology
+// and the identical up*/down* escape structure, so the gap isolates the
+// value of adaptive path diversity around faults — the scenario adaptive
+// routing is sold on but the paper never evaluates.
+//
+// Saturation throughput is measured the standard way: drive the network
+// well past its saturation load with the latency guard lifted and a fixed
+// cycle budget, and report delivered flits/node/cycle over the measured
+// span (the sustained acceptance rate). Latency is reported at a moderate
+// load on the same plans. Load stays normalized to the healthy bisection,
+// so every fault count shares an x-axis.
+
+// ResilienceFaultCounts is the failed-link axis.
+var ResilienceFaultCounts = []int{0, 1, 2, 4, 6, 8}
+
+// ResiliencePatterns are the traffic patterns the resilience experiment
+// sweeps.
+var ResiliencePatterns = []traffic.Kind{traffic.Uniform, traffic.Transpose}
+
+// ResilienceRow is one (pattern, fault count) point: latency at the
+// moderate load and saturation throughput for both routing policies over
+// the same fault plan.
+type ResilienceRow struct {
+	Pattern traffic.Kind
+	// FaultLinks is the number of failed links; Plan is the shared damage
+	// (nil at zero faults).
+	FaultLinks int
+	Plan       *fault.Plan
+	// AdaptiveLat/DetLat: mean latency at the moderate load.
+	AdaptiveLat, DetLat core.Result
+	// AdaptiveSat/DetSat: overdriven runs whose Throughput field is the
+	// saturation throughput.
+	AdaptiveSat, DetSat core.Result
+}
+
+// ThroughputGain returns the adaptive-over-deterministic saturation
+// throughput ratio, the experiment's headline number.
+func (r ResilienceRow) ThroughputGain() float64 {
+	if r.DetSat.Throughput == 0 {
+		return 0
+	}
+	return r.AdaptiveSat.Throughput / r.DetSat.Throughput
+}
+
+// resilienceLatencyLoad is the moderate load the latency series uses.
+func resilienceLatencyLoad(traffic.Kind) float64 { return 0.2 }
+
+// resilienceSatLoad overdrives each pattern well past its healthy
+// saturation point.
+func resilienceSatLoad(p traffic.Kind) float64 {
+	if p == traffic.Uniform {
+		return 0.9
+	}
+	return 0.6
+}
+
+// resilienceSatCycles is the fixed cycle budget of a saturation-
+// throughput run per fidelity.
+func (f Fidelity) resilienceSatCycles() int64 {
+	switch f {
+	case Quick:
+		return 6000
+	case Paper:
+		return 60000
+	}
+	return 20000
+}
+
+// ResiliencePlans generates the shared fault plans for the given link
+// counts on the experiment mesh, seeded from seed (count 0 maps to nil).
+// Plans are per-count, not per-pattern, so every series degrades the same
+// hardware.
+func ResiliencePlans(base core.Config, counts []int, seed int64) (map[int]*fault.Plan, error) {
+	m := base.Mesh()
+	plans := make(map[int]*fault.Plan, len(counts))
+	for _, c := range counts {
+		if c == 0 {
+			plans[0] = nil
+			continue
+		}
+		p, err := fault.Random(m, c, 0, seed+int64(c)*101)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resilience plan for %d faults: %w", c, err)
+		}
+		plans[c] = p
+	}
+	return plans, nil
+}
+
+// Resilience runs the full experiment grid through the sweep engine.
+func (r Runner) Resilience(ctx context.Context) ([]ResilienceRow, error) {
+	return r.resilience(ctx, ResiliencePatterns, ResilienceFaultCounts)
+}
+
+// resilience is the parameterized core; the quick test tier runs it over
+// a reduced grid.
+func (r Runner) resilience(ctx context.Context, patterns []traffic.Kind, counts []int) ([]ResilienceRow, error) {
+	plans, err := ResiliencePlans(r.base(), counts, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ResilienceRow
+	for _, pat := range patterns {
+		for _, c := range counts {
+			rows = append(rows, ResilienceRow{Pattern: pat, FaultLinks: c, Plan: plans[c]})
+		}
+	}
+	policies := []struct {
+		alg core.Alg
+		sel selection.Kind
+		lat func(*ResilienceRow) *core.Result
+		sat func(*ResilienceRow) *core.Result
+	}{
+		{core.AlgDuato, selection.LRU,
+			func(w *ResilienceRow) *core.Result { return &w.AdaptiveLat },
+			func(w *ResilienceRow) *core.Result { return &w.AdaptiveSat }},
+		{core.AlgXY, selection.StaticXY,
+			func(w *ResilienceRow) *core.Result { return &w.DetLat },
+			func(w *ResilienceRow) *core.Result { return &w.DetSat }},
+	}
+	var g grid
+	for i := range rows {
+		row := &rows[i]
+		for _, pol := range policies {
+			base := r.base()
+			base.Algorithm = pol.alg
+			base.Selection = pol.sel
+			base.Pattern = row.Pattern
+			base.Faults = row.Plan
+
+			lat := base
+			lat.Load = resilienceLatencyLoad(row.Pattern)
+			slot := pol.lat(row)
+			g.add(lat, func(res core.Result) { *slot = res })
+
+			// Saturation throughput: overdrive, lift the latency guard,
+			// fix the cycle budget; Result.Throughput is the sustained
+			// acceptance rate over the measured span.
+			sat := base
+			sat.Load = resilienceSatLoad(row.Pattern)
+			sat.SatLatency = 1e12
+			sat.MaxCycles = r.Fidelity.resilienceSatCycles()
+			sat.Measure = 1 << 30 // never completes; the budget ends the run
+			satSlot := pol.sat(row)
+			g.add(sat, func(res core.Result) { *satSlot = res })
+		}
+	}
+	if err := g.run(ctx, r.opts()); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderResilience prints the experiment in the repo's table style.
+func RenderResilience(w io.Writer, rows []ResilienceRow) {
+	fmt.Fprintln(w, "Resilience: saturation throughput (flits/node/cycle) and mean latency vs failed links")
+	fmt.Fprintln(w, "(adaptive = LA Duato + ES + LRU; deterministic = up*/down* over the same damage)")
+	var pat traffic.Kind = -1
+	for _, r := range rows {
+		if r.Pattern != pat {
+			pat = r.Pattern
+			fmt.Fprintf(w, "\n[%s traffic]\n", pat)
+			fmt.Fprintf(w, "%-7s %-24s %10s %10s %6s %10s %10s\n",
+				"faults", "plan", "adpt-thr", "det-thr", "gain", "adpt-lat", "det-lat")
+		}
+		plan := "-"
+		if r.Plan != nil {
+			plan = r.Plan.Key()
+		}
+		if len(plan) > 24 {
+			plan = plan[:21] + "..."
+		}
+		fmt.Fprintf(w, "%-7d %-24s %10.4f %10.4f %6.2f %10s %10s\n",
+			r.FaultLinks, plan,
+			r.AdaptiveSat.Throughput, r.DetSat.Throughput, r.ThroughputGain(),
+			r.AdaptiveLat.LatencyString(), r.DetLat.LatencyString())
+	}
+}
+
+// ResilienceCSV writes one row per (pattern, fault count, policy).
+func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"pattern", "fault_links", "fault_plan", "policy",
+		"avg_latency", "saturated", "sat_throughput",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		plan := ""
+		if r.Plan != nil {
+			plan = r.Plan.Key()
+		}
+		for _, p := range []struct {
+			name string
+			lat  core.Result
+			sat  core.Result
+		}{
+			{"adaptive", r.AdaptiveLat, r.AdaptiveSat},
+			{"deterministic", r.DetLat, r.DetSat},
+		} {
+			rec := []string{
+				r.Pattern.String(),
+				strconv.Itoa(r.FaultLinks),
+				plan,
+				p.name,
+				latCell(p.lat),
+				satCell(p.lat),
+				strconv.FormatFloat(p.sat.Throughput, 'f', 5, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

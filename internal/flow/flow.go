@@ -48,6 +48,13 @@ type Message struct {
 	// which is copied through every buffer and wheel slot, at 16 bytes.
 	Route    RouteSet
 	Dateline uint8
+	// EscapeCommitted marks a message that has claimed an escape VC under
+	// the router's escape-commit discipline (router.Config.EscapeCommit):
+	// it rides escape VCs for the rest of its journey. Like Route and
+	// Dateline it is per-hop header state written by the SA stage of one
+	// hop strictly before the next hop reads it. Healthy minimal routing
+	// never sets it; the fault-aware up*/down* escape requires it.
+	EscapeCommitted bool
 }
 
 // FlitType distinguishes the roles of flits within a message.

@@ -9,6 +9,7 @@ package network
 import (
 	"fmt"
 
+	"lapses/internal/fault"
 	"lapses/internal/flow"
 	"lapses/internal/router"
 	"lapses/internal/routing"
@@ -40,6 +41,13 @@ type Config struct {
 	Tables []table.Table
 	// Selection is the path-selection heuristic.
 	Selection selection.Kind
+	// Faults, when non-nil and non-empty, degrades the topology: failed
+	// links carry no flits and no credits (their wiring is simply absent,
+	// so any attempt to use one panics), and NIs on failed routers inject
+	// nothing. The Algorithm and Tables must already route around the
+	// plan (core builds fault-aware ones); the network only enforces the
+	// physical consequences.
+	Faults *fault.Plan
 	// Pattern drives destination choice.
 	Pattern traffic.Pattern
 	// Trace, when non-nil, replaces the Pattern/MsgRate open-loop
@@ -72,6 +80,12 @@ func (c Config) Validate() error {
 	}
 	if c.Pattern == nil && c.Trace == nil {
 		return fmt.Errorf("network: a pattern or a trace is required")
+	}
+	if !c.Faults.Fits(c.Mesh) {
+		return fmt.Errorf("network: fault plan %s was built for a different topology than %s", c.Faults, c.Mesh)
+	}
+	if c.Trace != nil && c.Faults.NumRouters() > 0 {
+		return fmt.Errorf("network: trace workloads require fault plans without dead routers (trace endpoints cannot be filtered)")
 	}
 	if c.MsgLen < 1 {
 		return fmt.Errorf("network: MsgLen %d < 1", c.MsgLen)
@@ -207,6 +221,20 @@ func New(cfg Config) *Network {
 		panic(err)
 	}
 	m := cfg.Mesh
+	if !cfg.Faults.Empty() {
+		// The non-minimal up*/down* escape of fault-aware routing is
+		// deadlock-free only under the stay-on-escape discipline; see
+		// router.Config.EscapeCommit.
+		cfg.Router.EscapeCommit = true
+	}
+	if cfg.Faults.NumRouters() > 0 && cfg.Pattern != nil {
+		// Dead routers generate nothing and receive nothing: redraw (or
+		// silence) destinations that land on one.
+		plan := cfg.Faults
+		cfg.Pattern = traffic.FilterDest(cfg.Pattern, func(id topology.NodeID) bool {
+			return !plan.NodeDead(id)
+		})
+	}
 	n := &Network{
 		cfg:     cfg,
 		m:       m,
@@ -230,6 +258,12 @@ func New(cfg Config) *Network {
 	n.links = make([]link, m.N()*m.NumPorts())
 	for id := 0; id < m.N(); id++ {
 		for p := 0; p < m.NumPorts(); p++ {
+			// A failed link is simply not wired: it can carry neither
+			// flits nor credits, and a router erroneously routing onto
+			// one hits the missing-link panic in sendFunc.
+			if cfg.Faults.LinkDead(topology.NodeID(id), topology.Port(p)) {
+				continue
+			}
 			if nb, ok := m.Neighbor(topology.NodeID(id), topology.Port(p)); ok {
 				n.links[id*m.NumPorts()+p] = link{node: nb, port: topology.Opposite(topology.Port(p)), ok: true}
 			}
@@ -246,7 +280,11 @@ func New(cfg Config) *Network {
 	n.lastOcc = make([]int32, m.N())
 	// Every NI starts idle; park each on the wake heap at its first
 	// arrival (nodes whose process never fires stay dormant forever).
+	// NIs on dead routers never register: they inject nothing.
 	for id, x := range n.nis {
+		if cfg.Faults.NodeDead(topology.NodeID(id)) {
+			continue
+		}
 		if at, ok := x.nextWake(); ok {
 			n.wakes.push(wake{at: at, node: int32(id)})
 		}
@@ -454,7 +492,14 @@ func (n *Network) Run(p RunParams) *stats.Run {
 	n.recycle = true
 	defer func() { n.recycle = false }()
 
+	// An onArrive observer installed before Run (a test seam) keeps
+	// firing for every delivery; Run's measurement hook chains after it
+	// and the observer is restored on exit.
+	prev := n.onArrive
 	n.onArrive = func(msg *flow.Message, now int64) {
+		if prev != nil {
+			prev(msg, now)
+		}
 		lastProgress = now
 		if msg.ID < lo || msg.ID >= hi {
 			return
@@ -471,7 +516,7 @@ func (n *Network) Run(p RunParams) *stats.Run {
 		}
 		lastDeliver = now
 	}
-	defer func() { n.onArrive = nil }()
+	defer func() { n.onArrive = prev }()
 
 	for measuredDone < p.MeasureMessages {
 		n.Step()

@@ -84,6 +84,9 @@ func (x *ni) nextWake() (int64, bool) {
 // bookkeeping coherent, which appending to the queue directly would not;
 // tests that hand-craft messages must use it.
 func (n *Network) inject(msg *flow.Message) {
+	if n.cfg.Faults.NodeDead(msg.Src) || n.cfg.Faults.NodeDead(msg.Dst) {
+		panic("network: inject touching a dead router")
+	}
 	n.nis[msg.Src].queue = append(n.nis[msg.Src].queue, msg)
 	n.totalQueued++
 	n.actNIs.add(msg.Src)

@@ -45,6 +45,18 @@ type Config struct {
 	// is wormhole switching (the paper's mode). Requires message length
 	// <= BufDepth.
 	CutThrough bool
+	// EscapeCommit enforces the stay-on-escape discipline: once a message
+	// claims an escape VC it uses only escape VCs for the rest of its
+	// journey. Duato's protocol normally lets messages return to adaptive
+	// VCs, which is safe when the escape subfunction is minimal
+	// (dimension order): the escape extended dependency graph stays
+	// acyclic. The fault-aware up*/down* escape is non-minimal, and a
+	// message hopping escape -> adaptive -> escape can close a dependency
+	// cycle through the up/down order, so degraded networks run with the
+	// commit discipline on (the network enables it whenever a fault plan
+	// is present). Healthy configurations leave it off and are
+	// bit-identical to the paper's protocol.
+	EscapeCommit bool
 }
 
 // DefaultConfig returns the paper's Table 2 parameters: 4 VCs and 20-flit
@@ -379,9 +391,12 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	}
 	// Pass 1: candidates with a free adaptive VC. Duato's protocol
 	// prefers adaptive channels and falls back to the escape channel
-	// only when no adaptive VC is free this cycle.
+	// only when no adaptive VC is free this cycle. A message committed
+	// to the escape class (see Config.EscapeCommit) skips the adaptive
+	// pass entirely.
+	committed := r.cfg.EscapeCommit && ivc.buf.peek().Msg.EscapeCommitted
 	var eligible uint8
-	for i := 0; i < rs.Len(); i++ {
+	for i := 0; !committed && i < rs.Len(); i++ {
 		c := rs.At(i)
 		if r.freeVC(c.Port, c.Adaptive, needCredits) >= 0 {
 			eligible |= 1 << i
@@ -429,6 +444,9 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	// written to the message's header slot, which the next router's input
 	// stage reads strictly after this (see flow.Message.Route).
 	msg := ivc.buf.peek().Msg
+	if escape && r.cfg.EscapeCommit {
+		msg.EscapeCommitted = true
+	}
 	if cand.Port != topology.PortLocal {
 		next := ivc.dateline
 		if r.wrap {

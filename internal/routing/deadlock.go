@@ -27,6 +27,11 @@ type Channel struct {
 // destination.
 func EscapeDependencyGraph(m *topology.Mesh, alg Algorithm, cls Class) map[Channel][]Channel {
 	deps := make(map[Channel][]Channel)
+	// Position-dependent (fault-aware) algorithms never vary their masks
+	// with wrap-crossing state, so a single dateline state captures every
+	// edge; the minimal-routing dateline pruning below would wrongly drop
+	// real dependencies of their non-minimal detours.
+	posDep := IsPositionDependent(alg)
 	// For every (node, destination) pair, find escape hops at consecutive
 	// routers along the way. We enumerate dependencies locally: for node v
 	// and destination dst, the escape candidate at v defines the outgoing
@@ -46,7 +51,7 @@ func EscapeDependencyGraph(m *topology.Mesh, alg Algorithm, cls Class) map[Chann
 			// A minimal route never crosses the same dimension's
 			// wraparound twice; states that would are unreachable
 			// and must not contribute dependency edges.
-			if m.Wrap() {
+			if m.Wrap() && !posDep {
 				d := topology.PortDim(c.Port)
 				if dl&(1<<d) != 0 && nextDateline(m, cur, c.Port, 0)&(1<<d) != 0 {
 					continue
@@ -64,7 +69,7 @@ func EscapeDependencyGraph(m *topology.Mesh, alg Algorithm, cls Class) map[Chann
 			}
 			// Enumerate dateline states a message could arrive with.
 			states := []uint8{0}
-			if m.Wrap() {
+			if m.Wrap() && !posDep {
 				states = allDatelineStates(m.NumDims())
 			}
 			for _, dl := range states {
@@ -89,7 +94,7 @@ func EscapeDependencyGraph(m *topology.Mesh, alg Algorithm, cls Class) map[Chann
 						}
 						// The dateline state at v must be consistent:
 						// crossing a wrap link sets the dimension bit.
-						if m.Wrap() && nextDateline(m, u, inPort, udl) != dl {
+						if m.Wrap() && !posDep && nextDateline(m, u, inPort, udl) != dl {
 							continue
 						}
 						addDeps(deps, u, inPort, inMask, v, outPort, outMask)

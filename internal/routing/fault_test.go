@@ -1,0 +1,177 @@
+package routing
+
+import (
+	"testing"
+
+	"lapses/internal/fault"
+	"lapses/internal/topology"
+)
+
+// faultTestMeshes are the degraded-routing property-test topologies: a
+// mesh and a torus, both small enough for exhaustive pair enumeration.
+func faultTestMeshes() []*topology.Mesh {
+	return []*topology.Mesh{topology.NewMesh(6, 6), topology.NewTorus(5, 5)}
+}
+
+// walkToDst iterates a deterministic routing step from cur until dst or a
+// hop budget runs out, returning the path's ports and whether it arrived.
+func walkToDst(t *testing.T, m *topology.Mesh, alg Algorithm, cur, dst topology.NodeID) ([]topology.Port, bool) {
+	t.Helper()
+	var path []topology.Port
+	for hops := 0; hops < 4*m.N(); hops++ {
+		if cur == dst {
+			return path, true
+		}
+		rs := alg.Route(cur, dst, 0)
+		if rs.Empty() {
+			return path, false
+		}
+		p := rs.At(0).Port
+		if p == topology.PortLocal {
+			return path, cur == dst
+		}
+		nb, ok := m.Neighbor(cur, p)
+		if !ok {
+			t.Fatalf("route %d->%d walks off the topology via port %d", cur, dst, p)
+		}
+		path = append(path, p)
+		cur = nb
+	}
+	return path, false
+}
+
+// TestFaultPlanProperties is the degraded-routing property test: for a
+// range of generated fault plans on a mesh and a torus, the fault-aware
+// routing function must (a) connect every pair of live nodes, (b) never
+// route over a failed link or through a dead router, and (c) have an
+// acyclic escape-channel dependency graph (deadlock freedom per Duato's
+// theory, checked with the real dependency builder).
+func TestFaultPlanProperties(t *testing.T) {
+	cls := Class{NumVCs: 4, EscapeVCs: 1}
+	detCls := Class{NumVCs: 4, EscapeVCs: 0}
+	for _, m := range faultTestMeshes() {
+		for seed := int64(1); seed <= 8; seed++ {
+			plan, err := fault.Random(m, 4, 1, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m, seed, err)
+			}
+			duato, err := NewFaultDuato(m, cls, plan)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m, seed, err)
+			}
+			det, err := NewFaultDimOrder(m, detCls, plan)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m, seed, err)
+			}
+
+			for _, alg := range []Algorithm{duato, det} {
+				// (b) every candidate at every live pair stays on live
+				// equipment.
+				for cur := topology.NodeID(0); int(cur) < m.N(); cur++ {
+					for dst := topology.NodeID(0); int(dst) < m.N(); dst++ {
+						if plan.NodeDead(cur) || plan.NodeDead(dst) || cur == dst {
+							continue
+						}
+						rs := alg.Route(cur, dst, 0)
+						if rs.Empty() {
+							t.Fatalf("%s seed %d: %s has no route %d->%d", m, seed, alg.Name(), cur, dst)
+						}
+						for i := 0; i < rs.Len(); i++ {
+							c := rs.At(i)
+							if plan.LinkDead(cur, c.Port) {
+								t.Fatalf("%s seed %d: %s routes %d->%d over dead link port %s",
+									m, seed, alg.Name(), cur, dst, m.PortName(c.Port))
+							}
+							nb, ok := m.Neighbor(cur, c.Port)
+							if !ok || plan.NodeDead(nb) {
+								t.Fatalf("%s seed %d: %s routes %d->%d into dead router",
+									m, seed, alg.Name(), cur, dst)
+							}
+						}
+					}
+				}
+				// (c) escape dependency acyclicity.
+				checkCls := cls
+				if alg.Deterministic() {
+					checkCls = detCls
+				}
+				if ok, cycle := Acyclic(EscapeDependencyGraph(m, alg, checkCls)); !ok {
+					t.Fatalf("%s seed %d: %s escape dependency cycle: %v", m, seed, alg.Name(), cycle)
+				}
+			}
+
+			// (a) connectivity: iterating the deterministic (escape) step
+			// reaches every live destination from every live source.
+			for cur := topology.NodeID(0); int(cur) < m.N(); cur++ {
+				for dst := topology.NodeID(0); int(dst) < m.N(); dst++ {
+					if plan.NodeDead(cur) || plan.NodeDead(dst) {
+						continue
+					}
+					if _, ok := walkToDst(t, m, det, cur, dst); !ok {
+						t.Fatalf("%s seed %d: up*/down* walk %d->%d does not arrive", m, seed, cur, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultDisconnectedError pins the contract that a disconnecting plan
+// yields a descriptive error, not a panic or a silent bad table.
+func TestFaultDisconnectedError(t *testing.T) {
+	m := topology.NewMesh(2, 2)
+	plan, err := fault.New(m, []fault.Link{
+		{Node: 0, Port: topology.PortPlus(0)},
+		{Node: 0, Port: topology.PortPlus(1)},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFaultDuato(m, Class{NumVCs: 2, EscapeVCs: 1}, plan); err == nil {
+		t.Fatal("disconnected plan accepted by NewFaultDuato")
+	}
+	if _, err := NewFaultDimOrder(m, Class{NumVCs: 2, EscapeVCs: 0}, plan); err == nil {
+		t.Fatal("disconnected plan accepted by NewFaultDimOrder")
+	}
+}
+
+// TestFaultRouteMatchesHealthyDistance sanity-checks the adaptive
+// candidates: with zero faults, fault-Duato's productive ports equal the
+// healthy minimal directions at every pair.
+func TestFaultRouteMatchesHealthyDistance(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cls := Class{NumVCs: 4, EscapeVCs: 1}
+	plan, err := fault.New(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewFaultDuato(m, cls, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur := topology.NodeID(0); int(cur) < m.N(); cur++ {
+		for dst := topology.NodeID(0); int(dst) < m.N(); dst++ {
+			if cur == dst {
+				continue
+			}
+			rs := alg.Route(cur, dst, 0)
+			adaptivePorts := map[topology.Port]bool{}
+			for i := 0; i < rs.Len(); i++ {
+				if c := rs.At(i); c.Adaptive != 0 {
+					adaptivePorts[c.Port] = true
+				}
+			}
+			for p := topology.Port(1); int(p) < m.NumPorts(); p++ {
+				nb, ok := m.Neighbor(cur, p)
+				if !ok {
+					continue
+				}
+				minimal := m.Distance(nb, dst) == m.Distance(cur, dst)-1
+				if minimal != adaptivePorts[p] {
+					t.Fatalf("zero-fault adaptive ports at %d->%d: port %s minimal=%t offered=%t",
+						cur, dst, m.PortName(p), minimal, adaptivePorts[p])
+				}
+			}
+		}
+	}
+}

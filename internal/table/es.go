@@ -27,6 +27,16 @@ type ES struct {
 	// entries[datelineState][signIndex]
 	entries [][]flow.RouteSet
 	ndims   int
+	// Position-dependent (fault-aware) algorithms are not globally
+	// sign-expressible: routes detouring around failures differ between
+	// destinations sharing an offset sign. The table then keeps the sign
+	// entries for the majority case and an exception overlay — one full
+	// entry per destination whose route differs from its sign entry —
+	// mirroring how a real ES router near a fault would be patched with
+	// a small CAM of exception destinations. exc[state] is nil when the
+	// organization is exact (every healthy mesh algorithm).
+	exc    []map[topology.NodeID]flow.RouteSet
+	posDep bool
 }
 
 // NewES programs an economical-storage table for node from alg. It panics
@@ -35,16 +45,24 @@ type ES struct {
 // that would indicate the algorithm cannot be implemented in ES form (none
 // of the standard mesh algorithms trip this).
 func NewES(m *topology.Mesh, alg routing.Algorithm, node topology.NodeID) *ES {
+	posDep := routing.IsPositionDependent(alg)
 	states := 1
-	if m.Wrap() {
+	// Position-dependent algorithms never vary with wrap-crossing state,
+	// so one state row suffices even on a torus.
+	if m.Wrap() && !posDep {
 		states = 1 << m.NumDims()
 	}
-	t := &ES{m: m, alg: alg, node: node, ndims: m.NumDims(), entries: make([][]flow.RouteSet, states)}
+	t := &ES{m: m, alg: alg, node: node, ndims: m.NumDims(), posDep: posDep,
+		entries: make([][]flow.RouteSet, states), exc: make([]map[topology.NodeID]flow.RouteSet, states)}
 	size := 1
 	for i := 0; i < t.ndims; i++ {
 		size *= 3
 	}
 	for dl := 0; dl < states; dl++ {
+		if posDep {
+			t.programWithExceptions(dl, size)
+			continue
+		}
 		row := make([]flow.RouteSet, size)
 		programmed := make([]bool, size)
 		for dst := 0; dst < m.N(); dst++ {
@@ -78,6 +96,64 @@ func NewES(m *topology.Mesh, alg routing.Algorithm, node topology.NodeID) *ES {
 		t.entries[dl] = row
 	}
 	return t
+}
+
+// programWithExceptions builds one state row for a position-dependent
+// (fault-aware) algorithm: each sign entry holds the majority route among
+// the destinations realizing that sign vector, and every destination
+// whose route differs becomes an exception entry — so the overlay stays
+// as small as the damage, not as large as the damage's shadow.
+// Unrealized sign entries stay empty: the look-ahead lookup of a
+// position-dependent table consults the algorithm directly, never the
+// sign entries of another position.
+func (t *ES) programWithExceptions(dl, size int) {
+	type tally struct {
+		rs flow.RouteSet
+		n  int
+	}
+	tallies := make([][]tally, size)
+	routes := make([]flow.RouteSet, t.m.N())
+	for dst := 0; dst < t.m.N(); dst++ {
+		rs := t.alg.Route(t.node, topology.NodeID(dst), uint8(dl))
+		routes[dst] = rs
+		idx := t.signIndex(topology.NodeID(dst))
+		found := false
+		for j := range tallies[idx] {
+			if tallies[idx][j].rs.Equal(rs) {
+				tallies[idx][j].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			tallies[idx] = append(tallies[idx], tally{rs: rs, n: 1})
+		}
+	}
+	row := make([]flow.RouteSet, size)
+	for idx, ts := range tallies {
+		if len(ts) == 0 {
+			continue
+		}
+		best := 0
+		for j := 1; j < len(ts); j++ {
+			// Strict > keeps the first-encountered set on ties.
+			if ts[j].n > ts[best].n {
+				best = j
+			}
+		}
+		row[idx] = ts[best].rs
+	}
+	for dst := 0; dst < t.m.N(); dst++ {
+		idx := t.signIndex(topology.NodeID(dst))
+		if routes[dst].Equal(row[idx]) {
+			continue
+		}
+		if t.exc[dl] == nil {
+			t.exc[dl] = make(map[topology.NodeID]flow.RouteSet)
+		}
+		t.exc[dl][topology.NodeID(dst)] = routes[dst]
+	}
+	t.entries[dl] = row
 }
 
 // representative returns a (src, dst) node pair whose offset signs decode
@@ -128,12 +204,20 @@ func (t *ES) Name() string { return "es" }
 // Node implements Table.
 func (t *ES) Node() topology.NodeID { return t.node }
 
-// Entries implements Table: 3^n entries regardless of network size.
-func (t *ES) Entries() int { return len(t.entries[0]) }
+// Entries implements Table: 3^n entries regardless of network size, plus
+// one exception entry per fault-detoured destination (the paper's storage
+// metric stays honest about the cost of degraded operation).
+func (t *ES) Entries() int { return len(t.entries[0]) + len(t.exc[0]) }
 
 // Lookup implements Table.
 func (t *ES) Lookup(dst topology.NodeID, dateline uint8) flow.RouteSet {
-	return t.entries[t.state(dateline)][t.signIndex(dst)]
+	s := t.state(dateline)
+	if t.exc[s] != nil {
+		if rs, ok := t.exc[s][dst]; ok {
+			return rs
+		}
+	}
+	return t.entries[s][t.signIndex(dst)]
 }
 
 func (t *ES) state(dateline uint8) int {
@@ -152,6 +236,13 @@ func (t *ES) LookupAt(p topology.Port, dst topology.NodeID, dateline uint8) flow
 	nb, ok := t.m.Neighbor(t.node, p)
 	if !ok {
 		panic("table: LookupAt through port without neighbor")
+	}
+	if t.posDep {
+		// Fault-aware tables differ between routers (each holds its own
+		// exception overlay), so the look-ahead result comes from the
+		// algorithm — the neighbor's programmed state — not from this
+		// router's sign entries.
+		return t.alg.Route(nb, dst, dateline)
 	}
 	if t.m.Wrap() {
 		// Dateline-dependent masks are recomputed for the neighbor's

@@ -26,6 +26,14 @@ type Interval struct {
 	// lo[p], hi[p]: inclusive label interval per port; lo > hi marks an
 	// unused port.
 	lo, hi []int
+	// exc overlays destinations whose route falls outside their port's
+	// interval. Healthy deterministic algorithms need none (and the
+	// constructor panics if they would); position-dependent fault detours
+	// break label contiguity, so each port keeps its longest contiguous
+	// run and the stragglers become exception entries — the C-104
+	// lineage's "interval labelling with exceptions".
+	exc    map[topology.NodeID]flow.RouteSet
+	posDep bool
 }
 
 // NewInterval programs an interval table for node from a deterministic
@@ -43,6 +51,11 @@ func NewInterval(m *topology.Mesh, alg routing.Algorithm, cls routing.Class, nod
 	for p := range t.lo {
 		t.lo[p], t.hi[p] = 1, 0 // empty
 	}
+	if routing.IsPositionDependent(alg) {
+		t.posDep = true
+		t.programWithExceptions()
+		return t
+	}
 	for dst := 0; dst < m.N(); dst++ {
 		rs := alg.Route(node, topology.NodeID(dst), 0)
 		p := rs.At(0).Port
@@ -59,23 +72,86 @@ func NewInterval(m *topology.Mesh, alg routing.Algorithm, cls routing.Class, nod
 	return t
 }
 
+// programWithExceptions builds the fault-tolerant interval table: each
+// port's interval is the longest contiguous label run the degraded
+// routing function assigns to it, and every destination outside its
+// port's run is stored as an exception entry.
+func (t *Interval) programWithExceptions() {
+	m := t.m
+	portOf := make([]topology.Port, m.N())
+	routes := make([]flow.RouteSet, m.N())
+	for dst := 0; dst < m.N(); dst++ {
+		rs := t.alg.Route(t.node, topology.NodeID(dst), 0)
+		routes[dst] = rs
+		if rs.Empty() {
+			portOf[dst] = topology.InvalidPort // unroutable (dead) label
+			continue
+		}
+		portOf[dst] = rs.At(0).Port
+	}
+	// Longest contiguous run per port.
+	for p := 0; p < m.NumPorts(); p++ {
+		port := topology.Port(p)
+		bestLo, bestHi := 1, 0
+		for dst := 0; dst < m.N(); {
+			if portOf[dst] != port {
+				dst++
+				continue
+			}
+			runLo := dst
+			for dst < m.N() && portOf[dst] == port {
+				dst++
+			}
+			if dst-1-runLo > bestHi-bestLo {
+				bestLo, bestHi = runLo, dst-1
+			}
+		}
+		t.lo[p], t.hi[p] = bestLo, bestHi
+	}
+	for dst := 0; dst < m.N(); dst++ {
+		p := portOf[dst]
+		if p == topology.InvalidPort {
+			continue
+		}
+		if dst >= t.lo[p] && dst <= t.hi[p] {
+			continue
+		}
+		if t.exc == nil {
+			t.exc = make(map[topology.NodeID]flow.RouteSet)
+		}
+		t.exc[topology.NodeID(dst)] = routes[dst]
+	}
+}
+
 // Name implements Table.
 func (t *Interval) Name() string { return "interval" }
 
 // Node implements Table.
 func (t *Interval) Node() topology.NodeID { return t.node }
 
-// Entries implements Table: one interval per port.
-func (t *Interval) Entries() int { return t.m.NumPorts() }
+// Entries implements Table: one interval per port, plus any fault
+// exception entries.
+func (t *Interval) Entries() int { return t.m.NumPorts() + len(t.exc) }
 
 // Lookup implements Table.
 func (t *Interval) Lookup(dst topology.NodeID, dateline uint8) flow.RouteSet {
+	if t.exc != nil {
+		if rs, ok := t.exc[dst]; ok {
+			return rs
+		}
+	}
 	for p := range t.lo {
 		if int(dst) >= t.lo[p] && int(dst) <= t.hi[p] {
 			var r flow.RouteSet
 			r.Add(flow.Candidate{Port: topology.Port(p), Adaptive: flow.MaskAll(t.numVCs)})
 			return r
 		}
+	}
+	if t.posDep {
+		// Unroutable (dead-router) labels have no interval and no
+		// exception; mirror the algorithm's and the ES table's empty set
+		// rather than panicking.
+		return flow.RouteSet{}
 	}
 	panic(fmt.Sprintf("table: no interval covers destination %d at node %d", dst, t.node))
 }

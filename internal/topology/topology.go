@@ -324,6 +324,68 @@ func (m *Mesh) SaturationInjectionRate() float64 {
 	return 2 * float64(m.BisectionChannels()) / float64(m.n)
 }
 
+// ReachableFrom returns, per node, whether it can be reached from src in
+// the subgraph induced by the nodeOK and linkOK predicates (BFS over live
+// links between live nodes). A link is traversable only when linkOK holds
+// for the outgoing (node, port) pair; predicates may be nil, meaning
+// everything is usable. It underlies the degraded-topology connectivity
+// checks of the fault subsystem.
+func (m *Mesh) ReachableFrom(src NodeID, nodeOK func(NodeID) bool, linkOK func(NodeID, Port) bool) []bool {
+	seen := make([]bool, m.n)
+	if !m.Valid(src) || (nodeOK != nil && !nodeOK(src)) {
+		return seen
+	}
+	seen[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for p := 1; p < m.NumPorts(); p++ {
+			port := Port(p)
+			nb, ok := m.Neighbor(cur, port)
+			if !ok || seen[nb] {
+				continue
+			}
+			if linkOK != nil && !linkOK(cur, port) {
+				continue
+			}
+			if nodeOK != nil && !nodeOK(nb) {
+				continue
+			}
+			seen[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return seen
+}
+
+// SubgraphConnected reports whether every node passing nodeOK is reachable
+// from every other over links passing linkOK. A subgraph with fewer than
+// two live nodes is trivially connected.
+func (m *Mesh) SubgraphConnected(nodeOK func(NodeID) bool, linkOK func(NodeID, Port) bool) bool {
+	root := InvalidNode
+	live := 0
+	for id := NodeID(0); int(id) < m.n; id++ {
+		if nodeOK == nil || nodeOK(id) {
+			if root == InvalidNode {
+				root = id
+			}
+			live++
+		}
+	}
+	if live < 2 {
+		return true
+	}
+	seen := m.ReachableFrom(root, nodeOK, linkOK)
+	reached := 0
+	for _, s := range seen {
+		if s {
+			reached++
+		}
+	}
+	return reached == live
+}
+
 // String returns a compact description such as "mesh(16x16)" or
 // "torus(8x8x8)".
 func (m *Mesh) String() string {

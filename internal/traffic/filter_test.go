@@ -1,0 +1,45 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"lapses/internal/topology"
+)
+
+// FilterDest against a randomized pattern must redraw past rejected
+// destinations essentially always — a rejected node must not silently
+// bias the offered load by dropping injections.
+func TestFilterDestRedrawsRandomPattern(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	dead := topology.NodeID(5)
+	p := FilterDest(New(Uniform, m), func(id topology.NodeID) bool { return id != dead })
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		dst, ok := p.Dest(0, rng)
+		if !ok {
+			t.Fatalf("draw %d: uniform pattern with one rejected node fell silent", i)
+		}
+		if dst == dead {
+			t.Fatalf("draw %d: rejected destination %d returned", i, dst)
+		}
+	}
+}
+
+// A deterministic pattern aimed at a rejected destination falls silent
+// instead of spinning or returning the dead node.
+func TestFilterDestSilencesDeterministicPattern(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	// Transpose sends (1,0) -> (0,1) = node 4; reject it.
+	p := FilterDest(New(Transpose, m), func(id topology.NodeID) bool { return id != 4 })
+	rng := rand.New(rand.NewSource(1))
+	src := m.ID(topology.Coord{1, 0})
+	if dst, ok := p.Dest(src, rng); ok {
+		t.Fatalf("deterministic pattern at a rejected destination returned %d", dst)
+	}
+	// Other sources are unaffected.
+	other := m.ID(topology.Coord{2, 0})
+	if dst, ok := p.Dest(other, rng); !ok || dst != m.ID(topology.Coord{0, 2}) {
+		t.Fatalf("unaffected source misrouted: %d %t", dst, ok)
+	}
+}

@@ -110,6 +110,40 @@ func New(k Kind, m *topology.Mesh) Pattern {
 	panic("traffic: unknown kind")
 }
 
+// FilterDest wraps a pattern so destinations rejected by ok are redrawn.
+// Randomized patterns redraw until an acceptable destination appears;
+// deterministic patterns aimed at a rejected destination fall silent
+// (Dest returns false), the same contract as a transpose diagonal. The
+// fault subsystem uses this to keep traffic off dead routers.
+func FilterDest(p Pattern, ok func(topology.NodeID) bool) Pattern {
+	return filtered{inner: p, ok: ok}
+}
+
+type filtered struct {
+	inner Pattern
+	ok    func(topology.NodeID) bool
+}
+
+func (f filtered) Name() string { return f.inner.Name() }
+
+func (f filtered) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, bool) {
+	// A deterministic pattern aimed at a rejected node repeats the same
+	// draw every time and falls out after the budget; a randomized
+	// pattern failing 64 independent redraws requires nearly every
+	// destination to be rejected, so the injection-dropping bias this
+	// cutoff introduces is negligible (p^64 for rejection probability p).
+	for i := 0; i < 64; i++ {
+		dst, ok := f.inner.Dest(src, rng)
+		if !ok {
+			return topology.InvalidNode, false
+		}
+		if f.ok(dst) {
+			return dst, true
+		}
+	}
+	return topology.InvalidNode, false
+}
+
 type uniform struct{ n int }
 
 func (uniform) Name() string { return "uniform" }
