@@ -6,11 +6,18 @@
 //
 //	lapses-bench                  # full suite -> BENCH_<today>.json
 //	lapses-bench -quick -out b.json
+//	lapses-bench -quick -compare BENCH_2026-07-26.json -tolerance 0.25
+//
+// -compare diffs the fresh measurements against a committed baseline
+// snapshot, printing per-entry ns/op and allocs/op deltas, and exits
+// non-zero when any shared entry regressed past -tolerance — the CI
+// guard that keeps hot-path regressions from drifting in silently.
 //
 // Methodology: every case runs in a warm process (caches primed by one
 // untimed run), for -mintime per case, with a fixed seed — the regime a
 // sweep point lives in, where one structural configuration is reused
-// across the whole load axis.
+// across the whole load axis. Each entry records the GOMAXPROCS and
+// shard count it ran under, since both change what ns/op means.
 package main
 
 import (
@@ -37,9 +44,19 @@ type entry struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	// Gomaxprocs and Shards record the execution plan the entry measured:
+	// shard workers cannot speed a run beyond GOMAXPROCS, so a delta is
+	// only meaningful between entries with comparable plans.
+	Gomaxprocs int `json:"gomaxprocs"`
+	Shards     int `json:"shards"`
+	// SkippedFrac is the fraction of simulated cycles the idle-cycle
+	// fast-forward jumped over (simulation entries only).
+	SkippedFrac float64 `json:"skipped_frac,omitempty"`
 }
 
-// snapshot is the BENCH_<date>.json schema.
+// snapshot is the BENCH_<date>.json schema. Schema 2 adds per-entry
+// gomaxprocs/shards/skipped_frac; schema-1 baselines still load for
+// comparison (their entries are implicitly shards=1).
 type snapshot struct {
 	Schema     int     `json:"schema"`
 	Date       string  `json:"date"`
@@ -54,6 +71,8 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	quick := flag.Bool("quick", false, "single timed iteration per case (CI smoke)")
 	minTime := flag.Duration("mintime", 2*time.Second, "minimum measurement time per case")
+	compare := flag.String("compare", "", "baseline snapshot to diff against; regressions past -tolerance exit non-zero")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression per entry for -compare (0.25 = 25%)")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
@@ -63,7 +82,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     1,
+		Schema:     2,
 		Date:       time.Now().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -71,34 +90,58 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
+	sim := func(name string, c core.Config) {
+		var skipped, total int64
+		e := measure(name, *minTime, func() int64 {
+			r, err := core.Run(c)
+			if err != nil {
+				fatal(err)
+			}
+			skipped += r.SkippedCycles
+			total += r.TotalCycles
+			return r.TotalCycles
+		})
+		e.Shards = c.EffectiveShards()
+		if total > 0 {
+			e.SkippedFrac = float64(skipped) / float64(total)
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+
 	// Sweep points across the load axis: 0.05 is the low-load regime
 	// where the active-set scheduler's idle-skip dominates, 0.5 a loaded
 	// steady state, 0.2 the paper's workhorse operating point.
 	for _, load := range []float64{0.05, 0.2, 0.5} {
-		c := simPoint(load)
-		snap.Entries = append(snap.Entries, measure(
-			fmt.Sprintf("sim/16x16/load=%.2f", load), *minTime,
-			func() int64 {
-				r, err := core.Run(c)
-				if err != nil {
-					fatal(err)
-				}
-				return r.TotalCycles
-			}))
+		sim(fmt.Sprintf("sim/16x16/load=%.2f", load), simPoint(load))
+	}
+
+	// Near-idle regime: at load 0.005 the 16x16 network is globally empty
+	// most of the time, the operating point idle-cycle fast-forward is
+	// built for (at 0.05 the mesh still holds ~9 in-flight messages, so
+	// there is almost nothing to skip — see skipped_frac in the entries).
+	sim("sim/16x16/load=0.005", simPoint(0.005))
+
+	// Sharded stepping variants: the same run partitioned into row bands
+	// stepped by worker goroutines. On a multi-core host shards=4 is the
+	// single-run wall-clock lever; on a 1-core host it measures the
+	// barrier overhead instead (compare gomaxprocs before reading deltas).
+	for _, shards := range []int{1, 4} {
+		c := simPoint(0.5)
+		c.Dims = []int{32, 32}
+		c.Shards = shards
+		sim(fmt.Sprintf("sim/32x32/load=0.50/shards=%d", shards), c)
+	}
+	{
+		c := simPoint(0.5)
+		c.Shards = 4
+		sim("sim/16x16/load=0.50/shards=4", c)
 	}
 
 	// Construction cost: what every sweep point pays before cycle zero.
 	{
 		c := simPoint(0.05)
 		c.Warmup, c.Measure = 0, 1
-		snap.Entries = append(snap.Entries, measure("construct/16x16", *minTime,
-			func() int64 {
-				r, err := core.Run(c)
-				if err != nil {
-					fatal(err)
-				}
-				return r.TotalCycles
-			}))
+		sim("construct/16x16", c)
 	}
 
 	// Sweep-engine throughput: a 16-point grid through the concurrent
@@ -127,6 +170,7 @@ func main() {
 			return cycles
 		})
 		e.PointsPerSec = float64(len(grid)) / (e.NsPerOp / 1e9)
+		e.Shards = 1
 		snap.Entries = append(snap.Entries, e)
 	}
 
@@ -140,9 +184,95 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	for _, e := range snap.Entries {
-		fmt.Printf("%-22s %12.0f ns/op %14.0f cycles/sec %10.0f allocs/op\n",
+		fmt.Printf("%-28s %12.0f ns/op %14.0f cycles/sec %10.0f allocs/op\n",
 			e.Name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
 	}
+
+	if *compare != "" {
+		if !compareBaseline(snap, *compare, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline prints per-entry deltas against the baseline snapshot
+// and reports whether every shared entry stayed within tolerance.
+// allocs/op is always gated: allocation counts are deterministic across
+// machines. ns/op is gated only when the entry's GOMAXPROCS matches the
+// baseline's — wall time measured on a different machine class (a CI
+// runner vs the dev box) varies for reasons that are not regressions, so
+// there it prints informationally. Entries new in this snapshot (or
+// present only in the baseline) are informational. Baseline entries that
+// recorded a different shard count are skipped entirely: their ns/op
+// measures a different execution plan.
+func compareBaseline(cur snapshot, path string, tol float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
+	}
+	baseByName := make(map[string]entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByName[e.Name] = e
+	}
+	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", path, tol*100)
+	ok := true
+	for _, e := range cur.Entries {
+		b, found := baseByName[e.Name]
+		if !found {
+			fmt.Printf("%-28s (new entry; no baseline)\n", e.Name)
+			continue
+		}
+		delete(baseByName, e.Name)
+		bShards := b.Shards
+		if bShards == 0 {
+			bShards = 1 // schema-1 baselines predate sharding
+		}
+		eShards := e.Shards
+		if eShards == 0 {
+			eShards = 1
+		}
+		if bShards != eShards {
+			fmt.Printf("%-28s (baseline ran shards=%d, now %d; skipped)\n", e.Name, bShards, eShards)
+			continue
+		}
+		bProcs := b.Gomaxprocs
+		if bProcs == 0 {
+			bProcs = base.GOMAXPROCS // schema-1 entries carry it snapshot-wide
+		}
+		sameMachine := bProcs == e.Gomaxprocs
+		nsDelta := frac(e.NsPerOp, b.NsPerOp)
+		alDelta := frac(e.AllocsPerOp, b.AllocsPerOp)
+		verdict := "ok"
+		if alDelta > tol || (sameMachine && nsDelta > tol) {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		note := ""
+		if !sameMachine {
+			note = fmt.Sprintf(" (ns/op informational: baseline gomaxprocs=%d, now %d)", bProcs, e.Gomaxprocs)
+		}
+		fmt.Printf("%-28s ns/op %+7.1f%%  allocs/op %+7.1f%%  %s%s\n",
+			e.Name, nsDelta*100, alDelta*100, verdict, note)
+	}
+	for name := range baseByName {
+		fmt.Printf("%-28s (baseline entry not measured)\n", name)
+	}
+	if !ok {
+		fmt.Printf("FAIL: regression beyond %.0f%% tolerance\n", tol*100)
+	}
+	return ok
+}
+
+// frac returns (cur-base)/base, treating a zero baseline as no change.
+func frac(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base
 }
 
 // simPoint is the canonical benchmark configuration: the 16x16 paper mesh
@@ -185,6 +315,7 @@ func measure(name string, minTime time.Duration, once func() int64) entry {
 		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
 		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(iters),
 		BytesPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
 }
 

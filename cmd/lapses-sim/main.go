@@ -53,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
 	faults := flag.String("faults", "", "fault plan: a count of random link failures, or an explicit \"A-B,...,rN\" spec")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for random fault plans")
+	shards := flag.Int("shards", 1, "row-band shards stepping the run in parallel (results are bit-identical for any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -90,6 +91,7 @@ func main() {
 	}
 	cfg.Load, cfg.MsgLen = *load, *msgLen
 	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
+	cfg.Shards = *shards
 	if *faults != "" {
 		if cfg.Faults, err = parseFaults(cfg, *faults, *faultSeed); err != nil {
 			fatal(err)
@@ -115,6 +117,10 @@ func main() {
 	fmt.Printf("avg hops       %.2f\n", res.AvgHops)
 	fmt.Printf("throughput     %.4f flits/node/cycle\n", res.Throughput)
 	fmt.Printf("delivered      %d messages over %d cycles\n", res.Delivered, res.Cycles)
+	if cfg.EffectiveShards() > 1 || res.SkippedCycles > 0 {
+		fmt.Printf("kernel         %d shard(s), %d of %d cycles fast-forwarded\n",
+			cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
+	}
 	if res.Saturated {
 		fmt.Printf("saturated      %s\n", res.SatReason)
 	}

@@ -25,4 +25,22 @@
 // deterministic routing's throughput at four or more failures — the
 // degraded regime adaptive routing is designed for, which the original
 // evaluation never exercises.
+//
+// A single run parallelizes through deterministic sharded stepping
+// (core.Config.Shards): the mesh splits into contiguous row bands, each
+// stepped by its own worker, with cross-shard flits and credits carried
+// through per-shard mailboxes drained at a two-phase cycle barrier.
+// Because every cross-shard effect is a future event (at least two cycles
+// out) and all order-sensitive work — message ID assignment, statistics
+// recording — happens serially at the barrier in ascending node order,
+// results are bit-identical for every shard count (pinned by the golden
+// tests at shards 1, 2 and 4, healthy and faulted). On top of the sharded
+// kernel, idle-cycle fast-forward jumps the clock straight to the next NI
+// wake whenever the network is globally empty (no buffered flits, no
+// queued messages, no events in flight), multiplying simulated cycles per
+// second in near-idle regimes — drain tails, sparse traces, very low
+// loads — while remaining observationally neutral. The scaling experiment
+// (cmd/lapses-experiments -exp scaling) drives both mechanisms end to end
+// from 8x8 to 32x32 meshes; internal/sweep budgets its grid workers
+// against per-run shard counts so sweeps never oversubscribe GOMAXPROCS.
 package lapses

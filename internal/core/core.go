@@ -146,6 +146,14 @@ type Config struct {
 
 	// Seed makes runs reproducible.
 	Seed int64
+
+	// Shards splits a single run's mesh into that many contiguous row
+	// bands, each stepped by its own worker goroutine (deterministic
+	// sharded stepping: results are bit-identical for every shard count,
+	// pinned by the golden tests). <= 1 runs serially; the value is
+	// clamped to the row count. Sweeps budget their worker pool against
+	// this so grid workers x shards never oversubscribes GOMAXPROCS.
+	Shards int
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 2) with
@@ -192,6 +200,22 @@ func (c Config) QuickFidelity() Config {
 // Mesh materializes the topology.
 func (c Config) Mesh() *topology.Mesh { return topology.New(c.Torus, c.Dims...) }
 
+// EffectiveShards returns the shard count a run actually executes with:
+// Shards clamped to at least 1 and at most the radix of the slowest-
+// varying dimension (every shard owns at least one full row — the same
+// clamp the network kernel applies). Reporting and worker budgeting must
+// use this, not the raw request.
+func (c Config) EffectiveShards() int {
+	s := c.Shards
+	if s < 1 {
+		s = 1
+	}
+	if n := len(c.Dims); n > 0 && s > c.Dims[n-1] {
+		s = c.Dims[n-1]
+	}
+	return s
+}
+
 // Key returns a string that identifies the configuration exactly: two
 // configs with equal keys produce bit-identical Results from Run. It is
 // the memo-cache key used by internal/sweep. Floats are keyed by their
@@ -208,6 +232,13 @@ func (c Config) Key() string {
 	fmt.Fprintf(&b, ",ld%x,ml%d,tr%p,w%d,m%d,mc%d,sl%x,sd%d",
 		math.Float64bits(c.Load), c.MsgLen, c.Trace,
 		c.Warmup, c.Measure, c.MaxCycles, math.Float64bits(c.SatLatency), c.Seed)
+	// Shards never changes a Result (sharded stepping is bit-identical),
+	// but it is part of the key so cached sweeps reflect the execution
+	// plan they actually ran — shard-equivalence tests must not have one
+	// variant served from the other's cache line.
+	if c.Shards > 1 {
+		fmt.Fprintf(&b, ",sh%d", c.Shards)
+	}
 	// The fault plan is keyed by canonical content, so equal damage from
 	// different Plan pointers memoizes together and any difference in
 	// damage never shares a cache line. Empty plans key like nil: a
@@ -327,8 +358,15 @@ type Result struct {
 	Cycles int64
 	// TotalCycles is the total number of cycles the simulation advanced,
 	// including warmup and drain — the denominator for simulator
-	// throughput (cycles/second) in perf harnesses.
+	// throughput (cycles/second) in perf harnesses. Cycles jumped over by
+	// idle-cycle fast-forward count: they are simulated time during which
+	// provably nothing happened.
 	TotalCycles int64
+	// SkippedCycles is how many of TotalCycles the idle-cycle
+	// fast-forward jumped over instead of executing individually. The
+	// jump is observationally neutral — every other field is bit-
+	// identical to a run with fast-forward disabled.
+	SkippedCycles int64
 	// Saturated marks runs that hit a saturation guard; the paper
 	// prints "Sat." for these.
 	Saturated bool
@@ -410,6 +448,7 @@ func Run(cfg Config) (Result, error) {
 		Trace:     cfg.Trace,
 		MsgLen:    cfg.MsgLen,
 		Seed:      cfg.Seed,
+		Shards:    cfg.Shards,
 	}
 	if cfg.Trace == nil {
 		ncfg.Pattern = traffic.New(cfg.Pattern, m)
@@ -426,18 +465,19 @@ func Run(cfg Config) (Result, error) {
 		SatLatency:      cfg.SatLatency,
 	})
 	return Result{
-		AvgLatency:  run.Latency.Mean(),
-		NetLatency:  run.NetLatency.Mean(),
-		CI95:        run.LatencyBatches.HalfWidth95(),
-		P50:         run.LatencyHist.Quantile(0.50),
-		P95:         run.LatencyHist.Quantile(0.95),
-		P99:         run.LatencyHist.Quantile(0.99),
-		AvgHops:     run.Hops.Mean(),
-		Throughput:  run.Throughput(),
-		Delivered:   run.Latency.N(),
-		Cycles:      run.Cycles,
-		TotalCycles: net.Now(),
-		Saturated:   run.Saturated,
-		SatReason:   run.SatReason,
+		AvgLatency:    run.Latency.Mean(),
+		NetLatency:    run.NetLatency.Mean(),
+		CI95:          run.LatencyBatches.HalfWidth95(),
+		P50:           run.LatencyHist.Quantile(0.50),
+		P95:           run.LatencyHist.Quantile(0.95),
+		P99:           run.LatencyHist.Quantile(0.99),
+		AvgHops:       run.Hops.Mean(),
+		Throughput:    run.Throughput(),
+		Delivered:     run.Latency.N(),
+		Cycles:        run.Cycles,
+		TotalCycles:   net.Now(),
+		SkippedCycles: net.SkippedCycles(),
+		Saturated:     run.Saturated,
+		SatReason:     run.SatReason,
 	}, nil
 }

@@ -54,24 +54,37 @@ func fingerprint(r core.Result) string {
 		b(r.AvgHops), b(r.Throughput), r.Delivered, r.Cycles, r.Saturated, r.SatReason)
 }
 
+// goldenShards are the shard counts every golden grid point runs at: the
+// fixture was recorded from the serial kernel, so passing at 2 and 4
+// proves sharded stepping is bit-identical to it.
+var goldenShards = []int{1, 2, 4}
+
 // TestGoldenKernel locks the simulation kernel's observable behavior: every
 // grid point must produce a Result identical, to the bit, to the fixture
-// recorded before the active-set scheduler landed. Regenerate (only when a
-// semantic change is intended) with: go test ./internal/core -run
-// TestGoldenKernel -update
+// recorded before the active-set scheduler landed — at every shard count.
+// Regenerate (only when a semantic change is intended) with: go test
+// ./internal/core -run TestGoldenKernel -update
 func TestGoldenKernel(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden grid is 24 full runs; skipped under -short")
+		t.Skip("golden grid is 24 full runs x 3 shard counts; skipped under -short")
 	}
 	grid := goldenGrid()
 	got := make(map[string]string, len(grid))
-	for _, c := range grid {
-		key := fmt.Sprintf("%s/load=%.2f/la=%t/seed=%d", c.Pattern, c.Load, c.LookAhead, c.Seed)
-		r, err := core.Run(c)
-		if err != nil {
-			t.Fatalf("%s: %v", key, err)
+	for _, shards := range goldenShards {
+		for _, c := range grid {
+			c.Shards = shards
+			key := fmt.Sprintf("%s/load=%.2f/la=%t/seed=%d", c.Pattern, c.Load, c.LookAhead, c.Seed)
+			r, err := core.Run(c)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", key, shards, err)
+			}
+			fp := fingerprint(r)
+			if prev, ok := got[key]; ok && prev != fp {
+				t.Errorf("%s: shards=%d diverged from a lower shard count\n got %s\nwant %s", key, shards, fp, prev)
+				continue
+			}
+			got[key] = fp
 		}
-		got[key] = fingerprint(r)
 	}
 	compareGolden(t, "golden_kernel.txt", "TestGoldenKernel", got)
 }
@@ -120,16 +133,24 @@ func goldenFaultGrid(t *testing.T) (cfgs []core.Config, keys []string) {
 // intended) with: go test ./internal/core -run TestGoldenFaults -update
 func TestGoldenFaults(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden fault grid is 8 full runs; skipped under -short")
+		t.Skip("golden fault grid is 8 full runs x 3 shard counts; skipped under -short")
 	}
 	cfgs, keys := goldenFaultGrid(t)
 	got := make(map[string]string, len(cfgs))
-	for i, c := range cfgs {
-		r, err := core.Run(c)
-		if err != nil {
-			t.Fatalf("%s: %v", keys[i], err)
+	for _, shards := range goldenShards {
+		for i, c := range cfgs {
+			c.Shards = shards
+			r, err := core.Run(c)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", keys[i], shards, err)
+			}
+			fp := fingerprint(r)
+			if prev, ok := got[keys[i]]; ok && prev != fp {
+				t.Errorf("%s: shards=%d diverged from a lower shard count\n got %s\nwant %s", keys[i], shards, fp, prev)
+				continue
+			}
+			got[keys[i]] = fp
 		}
-		got[keys[i]] = fingerprint(r)
 	}
 	compareGolden(t, "golden_faults.txt", "TestGoldenFaults", got)
 }

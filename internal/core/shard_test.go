@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lapses/internal/core"
+	"lapses/internal/fault"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+// TestShardEquivalence is the -short-friendly (and -race-exercised)
+// counterpart of the golden shard sweep: a healthy and a faulted
+// configuration must produce bit-identical Results at every shard count,
+// with the phase-A worker goroutines actually running (Run starts one per
+// extra shard). The full golden grids cover shards {1,2,4} too, but are
+// skipped under -short; this test keeps the equivalence in the race CI
+// lane.
+func TestShardEquivalence(t *testing.T) {
+	t.Parallel()
+	base := core.DefaultConfig()
+	base.Dims = []int{8, 8}
+	base.Selection = selection.LRU
+	base.Pattern = traffic.Transpose
+	base.Load = 0.3
+	base.Warmup, base.Measure = 100, 800
+
+	faulted := base
+	fp, err := fault.Parse(base.Mesh(), "27-28,r9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted.Faults = fp
+	faulted.Pattern = traffic.Uniform
+
+	// Torus wraparound links connect the first and last row bands, so the
+	// wrap case exercises cross-shard mailboxes in both directions of the
+	// boundary (and shard counts beyond the row count, which clamp).
+	torus := base
+	torus.Torus = true
+	torus.EscapeVCs = 2
+	torus.Pattern = traffic.Uniform
+
+	for name, cfg := range map[string]core.Config{"healthy": base, "faulted": faulted, "torus": torus} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var want string
+			for _, shards := range []int{1, 2, 4, 8, 64} {
+				c := cfg
+				c.Shards = shards
+				r, err := core.Run(c)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				got := fmt.Sprintf("%+v", r)
+				if shards == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("shards=%d diverged from serial:\n got %s\nwant %s", shards, got, want)
+				}
+			}
+		})
+	}
+}

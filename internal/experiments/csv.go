@@ -166,6 +166,12 @@ func (r Runner) WriteCSV(ctx context.Context, w io.Writer, name string) error {
 			return err
 		}
 		return ResilienceCSV(w, rows)
+	case "scaling":
+		rows, err := r.Scaling(ctx)
+		if err != nil {
+			return err
+		}
+		return ScalingCSV(w, rows)
 	}
 	return fmt.Errorf("experiments: no CSV form for %q", name)
 }

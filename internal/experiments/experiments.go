@@ -457,7 +457,7 @@ func RenderTable5(w io.Writer, rows []Table5Row) {
 
 // Names lists the runnable experiment identifiers.
 func Names() []string {
-	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5", "resilience"}
+	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5", "resilience", "scaling"}
 }
 
 // RunByName executes one experiment by identifier and renders it to w.
@@ -501,6 +501,12 @@ func (r Runner) RunByName(ctx context.Context, w io.Writer, name string) error {
 			return err
 		}
 		RenderResilience(w, rows)
+	case "scaling":
+		rows, err := r.Scaling(ctx)
+		if err != nil {
+			return err
+		}
+		RenderScaling(w, rows)
 	default:
 		names := Names()
 		sort.Strings(names)

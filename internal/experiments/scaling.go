@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+	"lapses/internal/traffic"
+)
+
+// The scaling experiment measures how the simulator — and the paper's
+// adaptivity story — behaves as the mesh grows beyond the paper's 16x16:
+// saturation throughput (flits/node/cycle, the architectural observable)
+// and simulation wall-clock (the harness observable) from 8x8 up to
+// 32x32, adaptive (LA Duato + ES + LRU) versus deterministic (XY +
+// static), each at shards 1 and 4. The shard series exercises the
+// deterministic sharded kernel end to end: both shard counts must report
+// bit-identical Results (the smoke test asserts it), while their
+// wall-clock columns show what spatial parallelism buys on the host —
+// on a multi-core machine shards=4 approaches a 4x single-run speedup;
+// on one core it measures the barrier overhead.
+//
+// Points run uncached through a timing wrapper (a memoized Result has no
+// meaningful wall-clock), with the sweep engine budgeting grid workers
+// against the shard count so the wall-clock column measures the
+// configured plan rather than oversubscription noise.
+
+// ScalingDims is the mesh-size axis.
+var ScalingDims = [][]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}}
+
+// ScalingShardCounts are the per-run shard counts each point runs at.
+var ScalingShardCounts = []int{1, 4}
+
+// ScalingRow is one (mesh, policy, shards) point.
+type ScalingRow struct {
+	Dims   []int
+	Policy string // "adaptive" or "deterministic"
+	Shards int
+	// Sat is the overdriven run whose Throughput field is the saturation
+	// throughput.
+	Sat core.Result
+	// Wall is the wall-clock of the saturation run; CyclesPerSec is
+	// simulated cycles per wall second (TotalCycles / Wall).
+	Wall         time.Duration
+	CyclesPerSec float64
+}
+
+// scalingSatLoad overdrives uniform traffic well past saturation,
+// matching the resilience experiment's methodology.
+const scalingSatLoad = 0.9
+
+// scalingSatCycles is the fixed cycle budget of one saturation run.
+func (f Fidelity) scalingSatCycles() int64 {
+	switch f {
+	case Quick:
+		return 4000
+	case Paper:
+		return 40000
+	}
+	return 15000
+}
+
+// scalingDims trims the mesh axis for the quick tier: the large meshes
+// are the point of the experiment but not of a smoke test.
+func (r Runner) scalingDims() [][]int {
+	if r.Fidelity == Quick {
+		return [][]int{{8, 8}, {16, 16}}
+	}
+	return ScalingDims
+}
+
+// Scaling runs the full grid through the sweep engine.
+func (r Runner) Scaling(ctx context.Context) ([]ScalingRow, error) {
+	policies := []struct {
+		name string
+		alg  core.Alg
+		sel  selection.Kind
+	}{
+		{"adaptive", core.AlgDuato, selection.LRU},
+		{"deterministic", core.AlgXY, selection.StaticXY},
+	}
+	dims := r.scalingDims()
+	// Rows are addressed by pointer from the grid sinks, so the slice
+	// must not reallocate after the first &rows[i] is taken.
+	rows := make([]ScalingRow, 0, len(dims)*len(policies)*len(ScalingShardCounts))
+	var g grid
+	for _, d := range dims {
+		for _, pol := range policies {
+			for _, shards := range ScalingShardCounts {
+				base := r.base()
+				base.Dims = d
+				base.Algorithm = pol.alg
+				base.Selection = pol.sel
+				base.Pattern = traffic.Uniform
+				base.Load = scalingSatLoad
+				base.SatLatency = 1e12
+				base.MaxCycles = r.Fidelity.scalingSatCycles()
+				base.Measure = 1 << 30 // the cycle budget ends the run
+				base.Shards = shards
+				rows = append(rows, ScalingRow{Dims: d, Policy: pol.name, Shards: shards})
+				row := &rows[len(rows)-1]
+				g.add(base, func(res core.Result) { row.Sat = res })
+			}
+		}
+	}
+	// Wall-clock needs real executions: bypass the memo cache and time
+	// each core.Run. Results are scattered by the grid in order, and the
+	// timing wrapper records durations keyed the same way.
+	opt := r.opts()
+	opt.Cache = nil
+	inner := opt.Runner
+	if inner == nil {
+		inner = core.Run
+	}
+	durs := make(map[string]time.Duration, len(g.cfgs))
+	var durKeys []string
+	for _, c := range g.cfgs {
+		durKeys = append(durKeys, c.Key())
+	}
+	opt.Runner = func(c core.Config) (core.Result, error) {
+		start := time.Now()
+		res, err := inner(c)
+		durs[c.Key()] = time.Since(start)
+		return res, err
+	}
+	// The durs map is written concurrently by grid workers — except that
+	// every key is distinct and written exactly once, which is still a
+	// data race on the map structure itself. Serialize: scaling's
+	// wall-clock column is only meaningful without co-running points
+	// anyway (two timed simulations sharing the machine inflate each
+	// other).
+	opt.Workers = 1
+	if err := g.run(ctx, opt); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Wall = durs[durKeys[i]]
+		if s := rows[i].Wall.Seconds(); s > 0 {
+			rows[i].CyclesPerSec = float64(rows[i].Sat.TotalCycles) / s
+		}
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the experiment in the repo's table style.
+func RenderScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scaling: saturation throughput and simulation wall-clock vs mesh size")
+	fmt.Fprintln(w, "(adaptive = LA Duato + ES + LRU; deterministic = XY + static; overdriven at load 0.9)")
+	fmt.Fprintf(w, "%-8s %-14s %7s %10s %12s %14s %8s\n",
+		"mesh", "policy", "shards", "sat-thr", "wall-clock", "cycles/sec", "skipped")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-14s %7d %10.4f %12s %14.0f %8d\n",
+			dimsString(r.Dims), r.Policy, r.Shards,
+			r.Sat.Throughput, r.Wall.Round(time.Millisecond), r.CyclesPerSec, r.Sat.SkippedCycles)
+	}
+}
+
+func dimsString(dims []int) string {
+	s := ""
+	for i, d := range dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += strconv.Itoa(d)
+	}
+	return s
+}
+
+// ScalingCSV writes one row per (mesh, policy, shards).
+func ScalingCSV(w io.Writer, rows []ScalingRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"mesh", "nodes", "policy", "shards",
+		"sat_throughput", "wall_ns", "cycles_per_sec",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		nodes := 1
+		for _, d := range r.Dims {
+			nodes *= d
+		}
+		rec := []string{
+			dimsString(r.Dims),
+			strconv.Itoa(nodes),
+			r.Policy,
+			strconv.Itoa(r.Shards),
+			strconv.FormatFloat(r.Sat.Throughput, 'f', 5, 64),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
+			strconv.FormatFloat(r.CyclesPerSec, 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestScalingQuick is the -short tier of the scaling experiment: the
+// reduced mesh axis through the real simulator at Quick fidelity. Beyond
+// shape checks it pins the experiment's structural claim about the
+// kernel: the shards=1 and shards=4 variants of every (mesh, policy)
+// point — distinct cache keys, really executed — report bit-identical
+// simulation Results, with only wall-clock differing.
+func TestScalingQuick(t *testing.T) {
+	t.Parallel()
+	r := Runner{Fidelity: Quick, Seed: 1}
+	rows, err := r.Scaling(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 meshes x 2 policies x 2 shard counts at the quick tier.
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byPoint := map[string]ScalingRow{}
+	for _, row := range rows {
+		if row.Sat.Throughput <= 0 {
+			t.Fatalf("%s/%s/shards=%d: zero saturation throughput", dimsString(row.Dims), row.Policy, row.Shards)
+		}
+		if row.Wall <= 0 || row.CyclesPerSec <= 0 {
+			t.Fatalf("%s/%s/shards=%d: missing wall-clock (%v, %v cycles/sec)",
+				dimsString(row.Dims), row.Policy, row.Shards, row.Wall, row.CyclesPerSec)
+		}
+		key := dimsString(row.Dims) + "/" + row.Policy
+		if prev, ok := byPoint[key]; ok {
+			if prev.Sat != row.Sat {
+				t.Errorf("%s: shards=%d diverged from shards=%d:\n%+v\n%+v",
+					key, row.Shards, prev.Shards, row.Sat, prev.Sat)
+			}
+		} else {
+			byPoint[key] = row
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ScalingCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + len(rows); len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "mesh,nodes,policy,shards") {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+}

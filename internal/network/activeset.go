@@ -2,14 +2,15 @@ package network
 
 import (
 	"math/bits"
-
-	"lapses/internal/topology"
 )
 
 // activeSet is the work list at the heart of the active-set cycle kernel:
 // a bitmap over component indices (routers or NIs). Components register
 // when they gain work and deregister when they go quiescent, so Step
 // visits only active components instead of ticking the whole network.
+// Under sharded stepping each shard owns a private activeSet over its
+// node band (indexed by node id minus the band's base), so concurrent
+// shards never share a bitmap word.
 //
 // Determinism contract: forEach visits members in ascending index order —
 // the same order the pre-active-set kernel ticked all components in — so
@@ -32,13 +33,13 @@ func newActiveSet(n int) activeSet {
 }
 
 // add registers a component; adding a member is a no-op.
-func (s *activeSet) add(id topology.NodeID) {
-	s.words[id>>6] |= 1 << (uint(id) & 63)
+func (s *activeSet) add(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
 }
 
-// drop deregisters a component.
-func (s *activeSet) drop(id int32) {
-	s.words[id>>6] &^= 1 << (uint(id) & 63)
+// has reports membership (tests and invariant checks).
+func (s *activeSet) has(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // forEach visits every member in ascending order. The callback returns

@@ -26,13 +26,17 @@ import (
 //     after the drain;
 //  4. dead equipment stays dark — zero flits on failed links.
 //
+// The shard count is fuzzed alongside the fault plan: sharded stepping
+// must uphold every conservation invariant over arbitrary damage, not
+// just the configurations the golden grids pin.
+//
 // Run continuously with: go test -run '^$' -fuzz FuzzFaultPlan ./internal/network
 func FuzzFaultPlan(f *testing.F) {
-	f.Add(int64(1), uint8(3), uint8(1), true, false)
-	f.Add(int64(2), uint8(0), uint8(0), false, false)
-	f.Add(int64(3), uint8(6), uint8(2), true, true)
-	f.Add(int64(4), uint8(1), uint8(0), false, true)
-	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool) {
+	f.Add(int64(1), uint8(3), uint8(1), true, false, uint8(1))
+	f.Add(int64(2), uint8(0), uint8(0), false, false, uint8(2))
+	f.Add(int64(3), uint8(6), uint8(2), true, true, uint8(4))
+	f.Add(int64(4), uint8(1), uint8(0), false, true, uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool, shards uint8) {
 		m := topology.NewMesh(6, 6)
 		if torus {
 			m = topology.NewTorus(5, 5)
@@ -102,6 +106,7 @@ func FuzzFaultPlan(f *testing.F) {
 			Trace:     trace,
 			MsgLen:    20,
 			Seed:      seed,
+			Shards:    1 + int(shards%6),
 		}
 		if err := cfg.Validate(); err != nil {
 			t.Fatal(err)

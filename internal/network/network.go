@@ -59,6 +59,13 @@ type Config struct {
 	MsgLen int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Shards splits the mesh into that many contiguous row bands, each
+	// stepped by its own worker inside Run (deterministic sharded
+	// stepping; see shard.go). Results are bit-identical for every shard
+	// count; <= 1 means a single shard. The value is clamped to the
+	// radix of the slowest-varying dimension so every shard owns at
+	// least one full row.
+	Shards int
 }
 
 // Validate reports configuration errors.
@@ -127,6 +134,10 @@ type creditEvent struct {
 type wheel[E any] struct {
 	slots [][]E
 	mask  int64
+	// count tracks the events currently scheduled across all slots, so
+	// the idle-cycle fast-forward check can test wheel emptiness without
+	// scanning the ring.
+	count int
 	// spare is the drained buffer from the previous take, reinstalled on
 	// the next one. Holding it for a full cycle (instead of truncating the
 	// slot in place) makes ownership explicit: a schedule landing in the
@@ -149,6 +160,7 @@ func newWheel[E any](horizon int) *wheel[E] {
 func (w *wheel[E]) schedule(at int64, e E) {
 	i := at & w.mask
 	w.slots[i] = append(w.slots[i], e)
+	w.count++
 }
 
 // take returns the events due at cycle `at` and transfers their slot's
@@ -160,6 +172,7 @@ func (w *wheel[E]) take(at int64) []E {
 	evs := w.slots[i]
 	w.slots[i] = w.spare[:0]
 	w.spare = evs[:0]
+	w.count -= len(evs)
 	return evs
 }
 
@@ -169,31 +182,38 @@ type Network struct {
 	m       *topology.Mesh
 	routers []*router.Router
 	nis     []*ni
-	flits   *wheel[flitEvent]
-	credits *wheel[creditEvent]
 	now     int64
 
-	// Active-set scheduler state: Step visits only routers with buffered
-	// flits and NIs with queued or streaming messages; idle NIs park on
-	// the wake heap until their traffic process next fires.
-	actRouters activeSet
-	actNIs     activeSet
-	wakes      wakeHeap
+	// shards carry all per-cycle mutable scheduler state — wheels, active
+	// bitmaps, wake heaps, occupancy counters, message pools, mailboxes —
+	// partitioned into contiguous node bands (a single shard when
+	// Config.Shards <= 1). nodeShard maps a node id to its shard index.
+	// lastOcc shadows each router's occupancy in a dense array so the
+	// tick loop computes deltas without an extra load from every router's
+	// struct; it is indexed per node and therefore safely shared.
+	shards    []*shard
+	nodeShard []int32
+	lastOcc   []int32
 
-	// totalOcc and totalQueued mirror the sums the Occupancy and
-	// QueuedMessages scans used to compute, maintained incrementally so
-	// the Run loop's per-cycle progress guard is O(1). lastOcc shadows
-	// each router's occupancy in a dense array so the tick loop computes
-	// deltas without an extra load from every router's struct.
-	totalOcc    int
-	totalQueued int
-	lastOcc     []int32
+	// par is non-nil while Run's phase-A workers are up; Step dispatches
+	// shards to them instead of stepping inline. Execution strategy only:
+	// results are identical either way.
+	par *parRun
 
-	// msgFree pools delivered Message objects for reuse by the NIs;
-	// recycling is enabled only inside Run, where no caller retains
-	// message pointers past the arrival callback.
+	// ff enables idle-cycle fast-forward (set inside Run): when the
+	// network is globally idle, Step jumps now to the next NI wake
+	// instead of ticking empty cycles, up to ffLimit (Run's cycle
+	// budget). ffSkipped counts the cycles skipped this way; they are
+	// simulated time (now advances over them) during which provably
+	// nothing happened.
+	ff        bool
+	ffLimit   int64
+	ffSkipped int64
+
+	// recycle enables pooling of delivered Message objects for reuse by
+	// the NIs; only inside Run, where no caller retains message pointers
+	// past the arrival callback.
 	recycle bool
-	msgFree []*flow.Message
 
 	// links caches, per (node, port), the downstream latch point — the
 	// neighbor and its opposite port — so the per-flit send and credit
@@ -240,8 +260,26 @@ func New(cfg Config) *Network {
 		m:       m,
 		routers: make([]*router.Router, m.N()),
 		nis:     make([]*ni, m.N()),
-		flits:   newWheel[flitEvent](cfg.LinkDelay + 2),
-		credits: newWheel[creditEvent](cfg.LinkDelay + 2),
+	}
+	bounds := shardBounds(m, cfg.Shards)
+	n.shards = make([]*shard, len(bounds)-1)
+	n.nodeShard = make([]int32, m.N())
+	for b := range n.shards {
+		sh := &shard{
+			idx:        b,
+			lo:         bounds[b],
+			hi:         bounds[b+1],
+			flits:      newWheel[flitEvent](cfg.LinkDelay + 2),
+			credits:    newWheel[creditEvent](cfg.LinkDelay + 2),
+			outFlits:   make([][]timedFlit, len(bounds)-1),
+			outCredits: make([][]timedCredit, len(bounds)-1),
+		}
+		sh.actRouters = newActiveSet(sh.hi - sh.lo)
+		sh.actNIs = newActiveSet(sh.hi - sh.lo)
+		for id := sh.lo; id < sh.hi; id++ {
+			n.nodeShard[id] = int32(b)
+		}
+		n.shards[b] = sh
 	}
 	for id := 0; id < m.N(); id++ {
 		node := topology.NodeID(id)
@@ -275,8 +313,6 @@ func New(cfg Config) *Network {
 		r.SetFabric(n.sendFunc(node), n.creditFunc(node), n.deliverFunc(node))
 		n.nis[id] = newNI(n, node, r)
 	}
-	n.actRouters = newActiveSet(m.N())
-	n.actNIs = newActiveSet(m.N())
 	n.lastOcc = make([]int32, m.N())
 	// Every NI starts idle; park each on the wake heap at its first
 	// arrival (nodes whose process never fires stay dormant forever).
@@ -286,7 +322,7 @@ func New(cfg Config) *Network {
 			continue
 		}
 		if at, ok := x.nextWake(); ok {
-			n.wakes.push(wake{at: at, node: int32(id)})
+			x.sh.wakes.push(wake{at: at, node: int32(id)})
 		}
 	}
 	return n
@@ -294,35 +330,51 @@ func New(cfg Config) *Network {
 
 // sendFunc routes a flit leaving node through port onto the wire; it
 // arrives (is latched) at the neighbor after the output register plus the
-// link delay.
+// link delay. A flit staying inside the sender's shard is scheduled
+// directly on that shard's wheel; one crossing a shard boundary is
+// appended to the sender shard's outbound mailbox and drained into the
+// destination wheel at the cycle barrier — always before its due cycle,
+// because arrival is at least two cycles out.
 func (n *Network) sendFunc(node topology.NodeID) router.SendFunc {
 	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
+	src := n.shards[n.nodeShard[node]]
 	return func(from topology.NodeID, p topology.Port, v flow.VCID, fl flow.Flit, now int64) {
 		l := links[p]
 		if !l.ok {
 			panic(fmt.Sprintf("network: node %d sent out port %d with no link", node, p))
 		}
-		n.flits.schedule(now+1+int64(n.cfg.LinkDelay), flitEvent{
-			node: l.node, port: l.port, vc: v, fl: fl,
-		})
+		at := now + 1 + int64(n.cfg.LinkDelay)
+		e := flitEvent{node: l.node, port: l.port, vc: v, fl: fl}
+		if d := n.nodeShard[l.node]; int(d) == src.idx {
+			src.flits.schedule(at, e)
+		} else {
+			src.outFlits[d] = append(src.outFlits[d], timedFlit{at: at, e: e})
+		}
 	}
 }
 
 // creditFunc returns a freed input-buffer slot upstream: to the neighbor's
-// output VC, or to the local NI for the injection port.
+// output VC, or to the local NI for the injection port. Cross-shard
+// credits ride the mailbox like flits do.
 func (n *Network) creditFunc(node topology.NodeID) router.CreditFunc {
 	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
+	src := n.shards[n.nodeShard[node]]
 	return func(from topology.NodeID, p topology.Port, v flow.VCID, now int64) {
 		at := now + 1 + int64(n.cfg.LinkDelay)
 		if p == topology.PortLocal {
-			n.credits.schedule(at, creditEvent{toNI: true, node: node, vc: v})
+			src.credits.schedule(at, creditEvent{toNI: true, node: node, vc: v})
 			return
 		}
 		l := links[p]
 		if !l.ok {
 			panic(fmt.Sprintf("network: credit out port %d with no link", p))
 		}
-		n.credits.schedule(at, creditEvent{node: l.node, port: l.port, vc: v})
+		e := creditEvent{node: l.node, port: l.port, vc: v}
+		if d := n.nodeShard[l.node]; int(d) == src.idx {
+			src.credits.schedule(at, e)
+		} else {
+			src.outCredits[d] = append(src.outCredits[d], timedCredit{at: at, e: e})
+		}
 	}
 }
 
@@ -342,50 +394,51 @@ func (n *Network) deliverFunc(node topology.NodeID) router.DeliverFunc {
 // components would have done no observable work (an idle router's Tick
 // returns immediately; an idle NI's tick only polls its injector), so the
 // active-set kernel is cycle-for-cycle identical to ticking everything.
+//
+// The cycle executes as phase A over every shard (in parallel when Run's
+// workers are up, inline otherwise — identical results either way; see
+// shard.go) followed by the serial phase-B barrier. When fast-forward is
+// armed (inside Run) and the network is globally idle, Step first jumps
+// now to the next NI wake: the skipped cycles are simulated time during
+// which provably nothing could happen, so the jump is indistinguishable
+// from ticking them one by one.
 func (n *Network) Step() {
 	now := n.now
-	for n.wakes.len() > 0 && n.wakes.top().at <= now {
-		n.actNIs.add(topology.NodeID(n.wakes.pop().node))
-	}
-
-	for _, e := range n.credits.take(now) {
-		if e.toNI {
-			n.nis[e.node].acceptCredit(e.vc)
-		} else {
-			n.routers[e.node].AcceptCredit(e.port, e.vc)
+	if n.ff && n.idle() {
+		target := n.nextWakeAt()
+		if target < 0 || target >= n.ffLimit {
+			// The next wake (if any) lies at or beyond the cycle budget,
+			// so the unskipped kernel would tick empty cycles up to the
+			// budget and stop without ever processing it: advance
+			// straight there so the Run loop's guard trips at exactly
+			// the same cycle.
+			if n.ffLimit > now {
+				n.ffSkipped += n.ffLimit - now
+				n.now = n.ffLimit
+			} else {
+				n.now = now + 1
+			}
+			return
+		}
+		if target > now {
+			n.ffSkipped += target - now
+			now = target
 		}
 	}
-	evs := n.flits.take(now)
-	for i := range evs {
-		e := &evs[i]
-		n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
-		n.totalOcc++
-		n.lastOcc[e.node]++
-		n.actRouters.add(e.node)
+	if p := n.par; p != nil {
+		p.wg.Add(len(p.start))
+		for _, ch := range p.start {
+			ch <- now
+		}
+		n.stepShard(n.shards[0], now)
+		p.wg.Wait()
+	} else {
+		for _, sh := range n.shards {
+			n.stepShard(sh, now)
+		}
 	}
-
-	n.actNIs.forEach(func(id int32) bool {
-		x := n.nis[id]
-		before := x.pending()
-		x.tick(now)
-		after := x.pending()
-		n.totalQueued += after - before
-		if after > 0 {
-			return true
-		}
-		if at, ok := x.nextWake(); ok {
-			n.wakes.push(wake{at: at, node: id})
-		}
-		return false
-	})
-
-	n.actRouters.forEach(func(id int32) bool {
-		occ := n.routers[id].Tick(now)
-		n.totalOcc += occ - int(n.lastOcc[id])
-		n.lastOcc[id] = int32(occ)
-		return occ > 0
-	})
-	n.now++
+	n.finishCycle(now)
+	n.now = now + 1
 }
 
 // Now returns the current cycle.
@@ -394,11 +447,27 @@ func (n *Network) Now() int64 { return n.now }
 // Occupancy returns the number of flits buffered across all routers,
 // maintained incrementally (it must always equal the sum of per-router
 // occupancies; tests assert this).
-func (n *Network) Occupancy() int { return n.totalOcc }
+func (n *Network) Occupancy() int {
+	total := 0
+	for _, sh := range n.shards {
+		total += sh.totalOcc
+	}
+	return total
+}
 
 // QueuedMessages returns the number of messages waiting or streaming in
 // source queues, maintained incrementally.
-func (n *Network) QueuedMessages() int { return n.totalQueued }
+func (n *Network) QueuedMessages() int {
+	total := 0
+	for _, sh := range n.shards {
+		total += sh.totalQueued
+	}
+	return total
+}
+
+// SkippedCycles returns how many cycles idle-cycle fast-forward jumped
+// over (simulated but not individually executed). Zero outside Run.
+func (n *Network) SkippedCycles() int64 { return n.ffSkipped }
 
 // Delivered returns the number of fully delivered messages.
 func (n *Network) Delivered() int64 { return n.delivered }
@@ -445,6 +514,12 @@ type RunParams struct {
 	// for this many cycles while traffic is in flight the run aborts.
 	// 0 uses 50000.
 	ProgressGuard int64
+	// NoFastForward disables idle-cycle fast-forward for this run, so
+	// every cycle is executed individually. Results are bit-identical
+	// either way (the fast-forward only skips cycles in which provably
+	// nothing happens); the knob exists for regression tests and
+	// diagnostics.
+	NoFastForward bool
 }
 
 // Run executes the measurement loop: inject continuously, measure messages
@@ -491,6 +566,17 @@ func (n *Network) Run(p RunParams) *stats.Run {
 	// the whole warmup+measure loop.
 	n.recycle = true
 	defer func() { n.recycle = false }()
+
+	// Arm idle-cycle fast-forward (bounded by the cycle budget) and the
+	// phase-A workers for the duration of the loop. Both are execution
+	// strategies, not semantics: results are bit-identical with them off.
+	if !p.NoFastForward {
+		n.ff = true
+		n.ffLimit = p.MaxCycles
+		defer func() { n.ff = false }()
+	}
+	stopWorkers := n.startWorkers()
+	defer stopWorkers()
 
 	// An onArrive observer installed before Run (a test seam) keeps
 	// firing for every delivery; Run's measurement hook chains after it

@@ -25,6 +25,7 @@ type stream struct {
 // source router can start directly at its SA stage.
 type ni struct {
 	net   *Network
+	sh    *shard // the shard owning this NI's node band
 	node  topology.NodeID
 	r     *router.Router
 	inj   *traffic.Injector
@@ -41,6 +42,7 @@ func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
 	v := n.cfg.Router.NumVCs
 	x := &ni{
 		net:     n,
+		sh:      n.shards[n.nodeShard[node]],
 		node:    node,
 		r:       r,
 		inj:     traffic.NewInjector(n.cfg.MsgRate, n.cfg.Seed+int64(node)),
@@ -87,16 +89,20 @@ func (n *Network) inject(msg *flow.Message) {
 	if n.cfg.Faults.NodeDead(msg.Src) || n.cfg.Faults.NodeDead(msg.Dst) {
 		panic("network: inject touching a dead router")
 	}
-	n.nis[msg.Src].queue = append(n.nis[msg.Src].queue, msg)
-	n.totalQueued++
-	n.actNIs.add(msg.Src)
+	x := n.nis[msg.Src]
+	x.queue = append(x.queue, msg)
+	x.sh.totalQueued++
+	x.sh.actNIs.add(int(msg.Src) - x.sh.lo)
 }
 
-// newMessage takes a message from the delivery pool, or allocates one.
-func (n *Network) newMessage() *flow.Message {
-	if k := len(n.msgFree); k > 0 {
-		msg := n.msgFree[k-1]
-		n.msgFree = n.msgFree[:k-1]
+// newMessage takes a message from the shard's delivery pool, or allocates
+// one. Pools are per shard so concurrent phase-A generators never share
+// one; a message delivered in another shard is recycled there and reused
+// by that shard's NIs.
+func (sh *shard) newMessage() *flow.Message {
+	if k := len(sh.msgFree); k > 0 {
+		msg := sh.msgFree[k-1]
+		sh.msgFree = sh.msgFree[:k-1]
 		*msg = flow.Message{}
 		return msg
 	}
@@ -107,15 +113,18 @@ func (n *Network) newMessage() *flow.Message {
 // VCs, and injects at most one flit (the injection channel is one flit
 // wide, like every physical channel).
 func (x *ni) tick(now int64) {
+	// Generated messages carry no ID yet: IDs are assigned at the cycle
+	// barrier in ascending node order (see finishCycle), which keeps the
+	// global creation numbering identical under any shard count. Nothing
+	// reads the ID before delivery, cycles later.
 	if x.trace != nil {
 		for _, tm := range x.trace.Due(now) {
-			msg := x.net.newMessage()
-			msg.ID = x.net.nextMsg
+			msg := x.sh.newMessage()
 			msg.Src = tm.Src
 			msg.Dst = tm.Dst
 			msg.Length = tm.Length
 			msg.CreateTime = now
-			x.net.nextMsg++
+			x.sh.created = append(x.sh.created, msg)
 			x.queue = append(x.queue, msg)
 		}
 	} else {
@@ -124,13 +133,12 @@ func (x *ni) tick(now int64) {
 			if !ok {
 				continue
 			}
-			msg := x.net.newMessage()
-			msg.ID = x.net.nextMsg
+			msg := x.sh.newMessage()
 			msg.Src = x.node
 			msg.Dst = dst
 			msg.Length = x.net.cfg.MsgLen
 			msg.CreateTime = now
-			x.net.nextMsg++
+			x.sh.created = append(x.sh.created, msg)
 			x.queue = append(x.queue, msg)
 		}
 	}
@@ -175,8 +183,9 @@ func (x *ni) tick(now int64) {
 			}
 		}
 		// One-cycle injection wire: the flit is latched into the
-		// router's local input buffer next cycle.
-		x.net.flits.schedule(now+1, flitEvent{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl})
+		// router's local input buffer next cycle (always intra-shard:
+		// an NI injects into its own node's router).
+		x.sh.flits.schedule(now+1, flitEvent{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl})
 		x.credits[v]--
 		s.seq++
 		if fl.Type.IsTail() {
@@ -195,23 +204,20 @@ func (x *ni) acceptCredit(v flow.VCID) {
 	x.credits[v]++
 }
 
-// deliver consumes an ejected flit; the tail completes the message.
+// deliver consumes an ejected flit; the tail completes the message. The
+// arrival observer fires at the cycle barrier (finishCycle), not here:
+// deliveries happen during the parallel router phase, and replaying them
+// serially in ascending shard order reproduces the serial kernel's
+// recording order exactly. The tail is the last live reference to the
+// message inside the network — earlier flits preceded it through every
+// buffer, and popped fifo slots are never read again before being
+// overwritten — so after the barrier replay it can be pooled.
 func (x *ni) deliver(fl flow.Flit, now int64) {
 	if fl.Msg.Dst != x.node {
 		panic("network: flit delivered to wrong node")
 	}
 	if fl.Type.IsTail() {
 		fl.Msg.ArriveTime = now
-		x.net.delivered++
-		if x.net.onArrive != nil {
-			x.net.onArrive(fl.Msg, now)
-		}
-		// The tail is the last live reference to the message inside the
-		// network: earlier flits preceded it through every buffer, and
-		// popped fifo slots are never read again before being
-		// overwritten. After the arrival callback it can be pooled.
-		if x.net.recycle {
-			x.net.msgFree = append(x.net.msgFree, fl.Msg)
-		}
+		x.sh.arrived = append(x.sh.arrived, fl.Msg)
 	}
 }

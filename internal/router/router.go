@@ -512,8 +512,11 @@ func (r *Router) claimVC(p topology.Port, mask flow.VCMask, needCredits int, own
 // switch contends only per output port: one flit per output port per
 // cycle, granted round-robin over all requesting input VCs.
 func (r *Router) stageXB(now int64) {
+	// The request matrix lives on the stack: zeroing these two cache
+	// lines per call vectorizes and measures faster than any lazily
+	// cleared heap-resident alternative.
 	var reqs [16]uint64 // per output port, bitmask over input VC indices
-	any := false
+	var used uint64     // ports with at least one request
 	for m := r.actXB; m != 0; m &= m - 1 {
 		i := bits.TrailingZeros64(m)
 		ivc := &r.in[i]
@@ -527,15 +530,11 @@ func (r *Router) stageXB(now int64) {
 			continue
 		}
 		reqs[ivc.outPort] |= 1 << i
-		any = true
+		used |= 1 << uint(ivc.outPort)
 	}
-	if !any {
-		return
-	}
-	for op := 0; op < r.ports; op++ {
-		if reqs[op] == 0 {
-			continue
-		}
+	// Ascending port order, exactly the order the full scan granted in.
+	for ; used != 0; used &= used - 1 {
+		op := bits.TrailingZeros64(used)
 		g := r.xbArb[op].Grant(reqs[op])
 		ivc := &r.in[g]
 		r.traverse(g, &r.out[ivc.outIdx], now)
