@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"lapses/internal/core"
+	"lapses/internal/experiments"
 	"lapses/internal/routing"
 	"lapses/internal/selection"
 	"lapses/internal/sweep"
@@ -242,6 +243,83 @@ func BenchmarkSweepMemoCache(b *testing.B) {
 			b.Fatalf("misses = %d want %d", cache.Misses(), len(grid)/2)
 		}
 	}
+}
+
+// BenchmarkSweepAutoFidelity compares the fixed and adaptive measurement
+// tiers on the same 8-point grid at a default-tier-like budget: the
+// adaptive variant truncates warmup by MSER-5 and stops each point once
+// its latency CI converges, so its cycles/op (simulated cycles per grid
+// pass) is the direct read on what the Auto tier saves.
+func BenchmarkSweepAutoFidelity(b *testing.B) {
+	mkGrid := func(auto bool) []core.Config {
+		var grid []core.Config
+		for _, load := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4} {
+			c := core.DefaultConfig()
+			c.Dims = []int{8, 8}
+			c.Selection = selection.StaticXY
+			c.Load = load
+			c.Warmup, c.Measure = 300, 6000
+			c.Seed = 7
+			if auto {
+				c.Auto = &core.AutoMeasure{RelTol: 0.05}
+			}
+			grid = append(grid, c)
+		}
+		return grid
+	}
+	for _, auto := range []bool{false, true} {
+		name := "fixed"
+		if auto {
+			name = "auto"
+		}
+		grid := mkGrid(auto)
+		b.Run(name, func(b *testing.B) {
+			var cycles, delivered int64
+			for i := 0; i < b.N; i++ {
+				outs, err := sweep.Run(context.Background(), grid, sweep.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+					cycles += o.Result.TotalCycles
+					delivered += o.Result.Delivered
+				}
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+			b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkBisect measures the saturation search on the 8x8 mesh: one
+// full bracket-plus-bisection run per iteration against a fresh cache
+// (every probe really simulates), reporting the probes and simulated
+// cycles one search costs — compare against the dense-grid points the
+// BisectResult reports to see the reduction.
+func BenchmarkBisect(b *testing.B) {
+	base := core.DefaultConfig()
+	base.Dims = []int{8, 8}
+	base.Selection = selection.StaticXY
+	base.Warmup, base.Measure = 300, 6000
+	base.Seed = 7
+	spec := experiments.SaturationSpec(base, 0.1, 1.2, 0.04)
+	var probes, cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Bisect(context.Background(), spec, sweep.Options{Cache: sweep.NewCache()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("search did not converge: %s", res)
+		}
+		probes += int64(res.Probes)
+		cycles += res.SimulatedCycles
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: router-cycles

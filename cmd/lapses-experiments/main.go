@@ -4,7 +4,19 @@
 //	lapses-experiments -exp table3                 # one experiment
 //	lapses-experiments -exp all -fidelity quick    # everything, fast
 //	lapses-experiments -exp fig6 -fidelity paper   # 400k-message fidelity
+//	lapses-experiments -exp fig5 -fidelity auto    # adaptive measurement
 //	lapses-experiments -exp all -workers 16        # widen the sweep pool
+//	lapses-experiments -exp fig6 -csv out -reps 5  # error bars over 5 seeds
+//
+// -fidelity auto runs every point on the adaptive measurement tier
+// (MSER-5 warmup truncation + CI-based early stopping; see README
+// "Measurement methodology"): each point simulates only as long as its
+// latency statistics need, with the default tier's budget as ceiling.
+//
+// -reps N replays each experiment N times under derived seeds
+// (Seed + rep*1000003) and adds mean/stderr columns to the CSVs; the
+// rendered stdout tables stay single-rep (rep 0). See the schema note
+// in internal/experiments/csv.go.
 //
 // Experiment grids execute through the concurrent internal/sweep engine:
 // -workers bounds the pool (default GOMAXPROCS), and a memo cache shared
@@ -32,11 +44,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, table3, fig6, table4, table5, resilience, scaling, or all")
-	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper")
+	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper, or auto (adaptive measurement)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for plottable experiments")
+	reps := flag.Int("reps", 1, "replications per experiment under derived seeds; CSVs gain mean/stderr columns")
 	flag.Parse()
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps %d < 1", *reps))
+	}
 
 	f, err := experiments.ParseFidelity(*fidelity)
 	if err != nil {
@@ -66,8 +82,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			// The CSV pass replays the grid out of the shared cache.
-			if err := runner.WriteCSV(ctx, file, name); err != nil {
+			// The CSV pass replays the grid out of the shared cache; with
+			// -reps it adds replications under derived seeds (rep 0 is
+			// the grid already simulated, so it stays cached).
+			if err := runner.WriteCSVReps(ctx, file, name, *reps); err != nil {
 				file.Close()
 				fatal(err)
 			}

@@ -15,6 +15,12 @@
 //
 //	lapses-sim -load 0.3 -faults 4 -fault-seed 7
 //	lapses-sim -load 0.3 -faults 12-13,40-41,r77
+//
+// -auto switches to the adaptive measurement tier: MSER-5 warmup
+// truncation plus CI-based early stopping at the -auto-tol relative
+// half-width, with -warmup+-measure as the message ceiling. The summary
+// then reports the truncated measurement window and whether the CI
+// converged before the ceiling.
 package main
 
 import (
@@ -51,6 +57,8 @@ func main() {
 	warmup := flag.Int("warmup", cfg.Warmup, "warm-up messages (excluded from stats)")
 	measure := flag.Int("measure", cfg.Measure, "measured messages")
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	auto := flag.Bool("auto", false, "adaptive measurement: MSER-5 warmup truncation + CI-based early stopping (ceiling = warmup+measure)")
+	autoTol := flag.Float64("auto-tol", 0.05, "with -auto: stop once the 95% CI half-width falls to this fraction of the mean")
 	faults := flag.String("faults", "", "fault plan: a count of random link failures, or an explicit \"A-B,...,rN\" spec")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for random fault plans")
 	shards := flag.Int("shards", 1, "row-band shards stepping the run in parallel (results are bit-identical for any count)")
@@ -92,6 +100,9 @@ func main() {
 	cfg.Load, cfg.MsgLen = *load, *msgLen
 	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
 	cfg.Shards = *shards
+	if *auto {
+		cfg.Auto = &core.AutoMeasure{RelTol: *autoTol}
+	}
 	if *faults != "" {
 		if cfg.Faults, err = parseFaults(cfg, *faults, *faultSeed); err != nil {
 			fatal(err)
@@ -117,9 +128,17 @@ func main() {
 	fmt.Printf("avg hops       %.2f\n", res.AvgHops)
 	fmt.Printf("throughput     %.4f flits/node/cycle\n", res.Throughput)
 	fmt.Printf("delivered      %d messages over %d cycles\n", res.Delivered, res.Cycles)
-	if cfg.EffectiveShards() > 1 || res.SkippedCycles > 0 {
-		fmt.Printf("kernel         %d shard(s), %d of %d cycles fast-forwarded\n",
-			cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
+	// MeasuredCycles is the statistics window; SkippedCycles counts the
+	// simulated-but-not-executed idle jumps. The two are independent: a
+	// fast-forwarded cycle inside the window is still measured time (the
+	// jump is observationally neutral), so MeasuredCycles never shrinks
+	// because fast-forward ran.
+	fmt.Printf("measured       %d-cycle window, %d total simulated\n", res.MeasuredCycles, res.TotalCycles)
+	fmt.Printf("kernel         %d shard(s), %d of %d cycles fast-forwarded\n",
+		cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
+	if cfg.Auto != nil {
+		fmt.Printf("auto           converged=%t after %d messages (CI ±%.2f, target ±%.1f%% of mean)\n",
+			res.Converged, res.Delivered, res.LatencyCI, *autoTol*100)
 	}
 	if res.Saturated {
 		fmt.Printf("saturated      %s\n", res.SatReason)

@@ -26,6 +26,38 @@
 // degraded regime adaptive routing is designed for, which the original
 // evaluation never exercises.
 //
+// Measurement is either fixed (the paper's warmup/measure message
+// counts) or adaptive (core.Config.Auto): internal/stats supplies
+// streaming moments, MSER-5 warmup truncation and batch-means confidence
+// intervals, and an Auto run measures every delivered message from cycle
+// zero, truncates the initialization transient statistically, and stops
+// as soon as the latency CI half-width falls below a relative tolerance
+// at two consecutive agreeing checks — bounded by floor and ceiling
+// budgets. Result.MeasuredCycles reports the truncated window the
+// estimate covers (for fixed runs it equals Result.Cycles),
+// Result.Converged whether the CI target ended the run, and
+// Result.LatencyCI the half-width under whichever methodology ran.
+// Result.SkippedCycles — the idle cycles fast-forward jumped over — is
+// independent of MeasuredCycles: a skipped cycle inside the measurement
+// window is still simulated, measured time, because the jump happens
+// only when provably nothing is in flight. Adaptive runs are
+// deterministic (same config, same bits, any shard count) but not
+// bit-comparable to fixed runs, so the goldens and every
+// bit-equivalence test stay on the fixed tiers; Auto is opt-in per
+// config, or per experiment via -fidelity auto.
+//
+// Saturation points are located by bisection instead of dense load
+// grids: sweep.Bisect brackets the saturation load and narrows it by
+// parallel k-section, with probes classified by acceptance (delivered
+// throughput versus offered; sweep.OfferedFracSaturated) under
+// load-scaled cycle budgets built by experiments.SaturationSpec. The
+// search reuses the sweep memo cache and worker budget, is
+// deterministic for any worker count, and costs a logarithmic number of
+// probes — measured >= 2x fewer simulated cycles than the dense-grid
+// reference (sweep.SaturationScan), pinned by TestBisectCycleReduction.
+// The resilience and scaling experiments and the saturation claims
+// tests all report saturation through it.
+//
 // A single run parallelizes through deterministic sharded stepping
 // (core.Config.Shards): the mesh splits into contiguous row bands, each
 // stepped by its own worker, with cross-shard flits and credits carried

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"testing"
+
+	"lapses/internal/core"
+	"lapses/internal/selection"
+)
+
+// autoBase is the shared adaptive-tier test point: an 8x8 mesh at a
+// comfortable load, with a fixed-tier budget the Auto tier defaults its
+// ceiling from.
+func autoBase() core.Config {
+	c := core.DefaultConfig()
+	c.Dims = []int{8, 8}
+	c.Selection = selection.StaticXY
+	c.Load = 0.2
+	c.Warmup, c.Measure = 300, 6000
+	c.Seed = 3
+	return c
+}
+
+// TestAutoConvergesEarlier is the tier's reason to exist: on a stable
+// operating point the adaptive run must stop on CI convergence well
+// before the fixed budget it defaults its ceiling from, with the
+// truncated estimate agreeing with the fixed-tier answer.
+func TestAutoConvergesEarlier(t *testing.T) {
+	t.Parallel()
+	fixed, err := core.Run(autoBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := autoBase()
+	ac.Auto = &core.AutoMeasure{RelTol: 0.05}
+	auto, err := core.Run(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Converged {
+		t.Fatalf("auto run did not converge: %+v", auto)
+	}
+	budget := int64(ac.Warmup + ac.Measure)
+	if auto.Delivered >= budget {
+		t.Fatalf("auto delivered %d messages, fixed budget is %d — no early stop", auto.Delivered, budget)
+	}
+	if auto.TotalCycles >= fixed.TotalCycles {
+		t.Fatalf("auto simulated %d cycles vs fixed %d — no cycle saving", auto.TotalCycles, fixed.TotalCycles)
+	}
+	if auto.LatencyCI <= 0 || auto.MeasuredCycles <= 0 {
+		t.Fatalf("auto run missing CI/window: %+v", auto)
+	}
+	if auto.MeasuredCycles > auto.TotalCycles {
+		t.Fatalf("measured window %d exceeds total %d", auto.MeasuredCycles, auto.TotalCycles)
+	}
+	// The CI actually met the tolerance it stopped on.
+	if auto.LatencyCI > 0.05*auto.AvgLatency {
+		t.Fatalf("reported CI %.3f above tolerance at mean %.1f", auto.LatencyCI, auto.AvgLatency)
+	}
+	// Both tiers estimate the same steady state; the CI bounds the gap
+	// loosely (different sample windows), so allow a few half-widths.
+	if diff := auto.AvgLatency - fixed.AvgLatency; diff < -6*auto.LatencyCI || diff > 6*auto.LatencyCI {
+		t.Fatalf("auto latency %.2f vs fixed %.2f: outside 6 half-widths (%.3f)",
+			auto.AvgLatency, fixed.AvgLatency, auto.LatencyCI)
+	}
+	// Fixed-tier runs must not grow adaptive fields.
+	if fixed.Converged {
+		t.Fatal("fixed-tier run reports Converged")
+	}
+	if fixed.MeasuredCycles != fixed.Cycles {
+		t.Fatalf("fixed-tier MeasuredCycles %d != Cycles %d", fixed.MeasuredCycles, fixed.Cycles)
+	}
+	if fixed.LatencyCI != fixed.CI95 {
+		t.Fatalf("fixed-tier LatencyCI %v != CI95 %v", fixed.LatencyCI, fixed.CI95)
+	}
+}
+
+// TestAutoDeterministicAcrossShards: the adaptive stopping decision rides
+// the barrier-replay delivery order, so auto runs must stay bit-identical
+// for every shard count, exactly like fixed runs.
+func TestAutoDeterministicAcrossShards(t *testing.T) {
+	t.Parallel()
+	mk := func(shards int) core.Result {
+		c := autoBase()
+		c.Auto = &core.AutoMeasure{RelTol: 0.05}
+		c.Shards = shards
+		r, err := core.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := mk(1)
+	for _, shards := range []int{2, 4} {
+		got := mk(shards)
+		// SkippedCycles legitimately differs only if fast-forward behaved
+		// differently — it must not.
+		if got != base {
+			t.Fatalf("shards=%d diverged:\nserial  %+v\nsharded %+v", shards, base, got)
+		}
+	}
+	// And across repeated identical runs.
+	if again := mk(1); again != base {
+		t.Fatalf("repeat run diverged:\n%+v\n%+v", base, again)
+	}
+}
+
+// TestAutoConfigKey: the adaptive tier is part of the memo identity —
+// opt-in never collides with the fixed tier, equal resolved rules share,
+// different tolerances do not.
+func TestAutoConfigKey(t *testing.T) {
+	t.Parallel()
+	fixed := autoBase()
+	a := autoBase()
+	a.Auto = &core.AutoMeasure{RelTol: 0.05}
+	if fixed.Key() == a.Key() {
+		t.Fatal("auto config shares the fixed tier's key")
+	}
+	// An explicit ceiling equal to the default resolves identically.
+	b := autoBase()
+	b.Auto = &core.AutoMeasure{RelTol: 0.05, MaxMessages: b.Warmup + b.Measure}
+	if a.Key() != b.Key() {
+		t.Fatalf("equal resolved rules keyed apart:\n%s\n%s", a.Key(), b.Key())
+	}
+	c := autoBase()
+	c.Auto = &core.AutoMeasure{RelTol: 0.02}
+	if a.Key() == c.Key() {
+		t.Fatal("different tolerances share a key")
+	}
+}
+
+// TestAutoValidate covers the tier's configuration errors.
+func TestAutoValidate(t *testing.T) {
+	t.Parallel()
+	bad := autoBase()
+	bad.Auto = &core.AutoMeasure{RelTol: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative RelTol validated")
+	}
+	bad = autoBase()
+	bad.Auto = &core.AutoMeasure{MinMessages: 500, MaxMessages: 100}
+	if err := bad.Validate(); err == nil {
+		t.Error("floor above ceiling validated")
+	}
+	ok := autoBase()
+	ok.Auto = &core.AutoMeasure{}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero-value AutoMeasure rejected: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"lapses/internal/router"
 	"lapses/internal/routing"
 	"lapses/internal/selection"
+	"lapses/internal/stats"
 	"lapses/internal/table"
 	"lapses/internal/topology"
 	"lapses/internal/traffic"
@@ -140,6 +141,15 @@ type Config struct {
 	// recorded (section 2.2: 10000 and 400000).
 	Warmup  int
 	Measure int
+	// Auto, when non-nil, switches the run to the adaptive measurement
+	// tier: the fixed Warmup/Measure split is replaced by statistical
+	// warmup truncation (MSER-5) and CI-based early stopping — the run
+	// measures every delivered message from cycle zero and ends as soon
+	// as the latency confidence interval is tight enough, bounded by
+	// hard floor/ceiling budgets. Opt-in only: a nil Auto runs the fixed
+	// methodology bit-identically to previous releases (the goldens pin
+	// this). See AutoMeasure and README "Measurement methodology".
+	Auto *AutoMeasure
 	// MaxCycles and SatLatency are saturation guards (0 = defaults).
 	MaxCycles  int64
 	SatLatency float64
@@ -154,6 +164,42 @@ type Config struct {
 	// clamped to the row count. Sweeps budget their worker pool against
 	// this so grid workers x shards never oversubscribes GOMAXPROCS.
 	Shards int
+}
+
+// AutoMeasure configures the adaptive measurement tier (Config.Auto).
+// Zero fields take defaults derived from the config's fixed budgets, so
+// `cfg.Auto = &core.AutoMeasure{}` is a valid opt-in: the run can only
+// get cheaper than the fixed tier it replaces, never more expensive.
+type AutoMeasure struct {
+	// RelTol is the stopping target: measurement ends once the 95%
+	// confidence half-width of the MSER-truncated latency mean falls to
+	// RelTol times the mean. Default 0.05.
+	RelTol float64
+	// MinMessages is the floor before any stopping decision; default
+	// MaxMessages/20, at least 200.
+	MinMessages int
+	// MaxMessages is the hard ceiling; default Warmup+Measure (the fixed
+	// budget the tier replaces).
+	MaxMessages int
+	// CheckEvery is the convergence re-check cadence in delivered
+	// messages; default max(MinMessages/2, 250).
+	CheckEvery int
+}
+
+// adaptive resolves the tier into the stats controller configuration,
+// defaulting the ceiling to the config's fixed budget.
+func (c Config) adaptive() stats.AdaptiveConfig {
+	a := c.Auto
+	max := a.MaxMessages
+	if max <= 0 {
+		max = c.Warmup + c.Measure
+	}
+	return stats.AdaptiveConfig{
+		RelTol:     a.RelTol,
+		MinSamples: a.MinMessages,
+		MaxSamples: max,
+		CheckEvery: a.CheckEvery,
+	}.Normalize()
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 2) with
@@ -239,6 +285,14 @@ func (c Config) Key() string {
 	if c.Shards > 1 {
 		fmt.Fprintf(&b, ",sh%d", c.Shards)
 	}
+	// The adaptive tier is keyed by its resolved parameters: two configs
+	// that default to the same stopping rule share a cache line, while
+	// an Auto config never collides with its fixed-tier sibling.
+	if c.Auto != nil {
+		a := c.adaptive()
+		fmt.Fprintf(&b, ",au[%x,%d,%d,%d]",
+			math.Float64bits(a.RelTol), a.MinSamples, a.MaxSamples, a.CheckEvery)
+	}
 	// The fault plan is keyed by canonical content, so equal damage from
 	// different Plan pointers memoizes together and any difference in
 	// damage never shares a cache line. Empty plans key like nil: a
@@ -316,6 +370,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: warmup+measure (%d) exceeds trace messages (%d)",
 			c.Warmup+c.Measure, c.Trace.Total())
 	}
+	if c.Auto != nil {
+		a := c.Auto
+		if a.RelTol < 0 {
+			return fmt.Errorf("core: negative Auto.RelTol")
+		}
+		if a.MinMessages < 0 || a.MaxMessages < 0 || a.CheckEvery < 0 {
+			return fmt.Errorf("core: negative Auto budget")
+		}
+		if a.MinMessages > 0 && a.MaxMessages > 0 && a.MinMessages > a.MaxMessages {
+			return fmt.Errorf("core: Auto.MinMessages (%d) > Auto.MaxMessages (%d)", a.MinMessages, a.MaxMessages)
+		}
+		if c.Trace != nil && c.adaptive().MaxSamples > c.Trace.Total() {
+			return fmt.Errorf("core: Auto ceiling (%d) exceeds trace messages (%d)",
+				c.adaptive().MaxSamples, c.Trace.Total())
+		}
+	}
 	if c.Table == table.KindInterval && !c.Algorithm.Deterministic() {
 		return fmt.Errorf("core: interval tables require a deterministic algorithm")
 	}
@@ -367,6 +437,25 @@ type Result struct {
 	// jump is observationally neutral — every other field is bit-
 	// identical to a run with fast-forward disabled.
 	SkippedCycles int64
+	// MeasuredCycles is the time span of the measurement window: for
+	// fixed-tier runs it equals Cycles (first to last measured
+	// delivery); for Auto runs it is the window from the end of the
+	// MSER-truncated transient to the last delivery — the span the
+	// latency estimate actually covers. SkippedCycles jumps can overlap
+	// either window only while the network is provably empty, so the
+	// two fields are independent: MeasuredCycles is simulated time,
+	// whether or not fast-forward executed each cycle individually.
+	MeasuredCycles int64
+	// Converged reports that an Auto-tier run stopped because its
+	// latency confidence interval met the relative tolerance, rather
+	// than by exhausting the message ceiling or a saturation guard.
+	// Always false for fixed-tier runs.
+	Converged bool
+	// LatencyCI is the 95% confidence half-width of AvgLatency under the
+	// methodology that produced it: the MSER-truncated batch-means
+	// interval for Auto runs, the fixed batch-means interval (CI95) for
+	// fixed runs.
+	LatencyCI float64
 	// Saturated marks runs that hit a saturation guard; the paper
 	// prints "Sat." for these.
 	Saturated bool
@@ -458,26 +547,59 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	net := network.New(ncfg)
-	run := net.Run(network.RunParams{
+	params := network.RunParams{
 		WarmupMessages:  cfg.Warmup,
 		MeasureMessages: cfg.Measure,
 		MaxCycles:       cfg.MaxCycles,
 		SatLatency:      cfg.SatLatency,
-	})
-	return Result{
-		AvgLatency:    run.Latency.Mean(),
-		NetLatency:    run.NetLatency.Mean(),
-		CI95:          run.LatencyBatches.HalfWidth95(),
-		P50:           run.LatencyHist.Quantile(0.50),
-		P95:           run.LatencyHist.Quantile(0.95),
-		P99:           run.LatencyHist.Quantile(0.99),
-		AvgHops:       run.Hops.Mean(),
-		Throughput:    run.Throughput(),
-		Delivered:     run.Latency.N(),
-		Cycles:        run.Cycles,
-		TotalCycles:   net.Now(),
-		SkippedCycles: net.SkippedCycles(),
-		Saturated:     run.Saturated,
-		SatReason:     run.SatReason,
-	}, nil
+	}
+	var ad *stats.Adaptive
+	if cfg.Auto != nil {
+		// Adaptive tier: measure from the first message (MSER-5 cuts the
+		// transient statistically) up to the resolved ceiling, with the
+		// controller ending the loop as soon as the CI converges.
+		ad = stats.NewAdaptive(cfg.adaptive())
+		params.WarmupMessages = 0
+		params.MeasureMessages = ad.Config().MaxSamples
+		params.Adaptive = ad
+	}
+	run := net.Run(params)
+	res := Result{
+		AvgLatency:     run.Latency.Mean(),
+		NetLatency:     run.NetLatency.Mean(),
+		CI95:           run.LatencyBatches.HalfWidth95(),
+		P50:            run.LatencyHist.Quantile(0.50),
+		P95:            run.LatencyHist.Quantile(0.95),
+		P99:            run.LatencyHist.Quantile(0.99),
+		AvgHops:        run.Hops.Mean(),
+		Throughput:     run.Throughput(),
+		Delivered:      run.Latency.N(),
+		Cycles:         run.Cycles,
+		MeasuredCycles: run.Cycles,
+		TotalCycles:    net.Now(),
+		SkippedCycles:  net.SkippedCycles(),
+		Saturated:      run.Saturated,
+		SatReason:      run.SatReason,
+	}
+	res.LatencyCI = res.CI95
+	if ad != nil {
+		// A run ended by a guard may not have evaluated recently; fold in
+		// everything seen before reading the estimate.
+		ad.Finalize()
+		res.Converged = ad.Converged()
+		if est := ad.Estimate(); est.Used > 0 {
+			// The headline latency and throughput are truncated
+			// steady-state estimates over the same window; the remaining
+			// secondary statistics (NetLatency, hops, percentiles) stay
+			// whole-span, transient included.
+			res.AvgLatency = est.Mean
+			res.CI95 = est.HalfWidth
+			res.LatencyCI = est.HalfWidth
+			res.MeasuredCycles = ad.MeasuredCycles()
+			if w := ad.MeasuredCycles(); w > 0 {
+				res.Throughput = float64(ad.WindowFlits()) / float64(w) / float64(m.N())
+			}
+		}
+	}
+	return res, nil
 }

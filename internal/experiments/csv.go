@@ -1,19 +1,37 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"lapses/internal/core"
+	"lapses/internal/stats"
 )
 
 // CSV writers for each experiment, for external plotting. Saturated points
 // carry an empty latency cell and saturated=true so plotting scripts can
 // clip the series the way the paper does ("results are only presented for
 // loads leading up to network saturation").
+//
+// # Schema note: replications
+//
+// With `lapses-experiments -reps N` (N > 1), WriteCSVReps replays the
+// experiment N times under per-rep derived seeds (Seed + rep*1000003,
+// each expanded once through the per-seed rng state cache) and the CSV
+// grows two trailing columns per replicated metric column:
+// `<col>_mean` and `<col>_stderr` (standard error of the mean over the
+// reps). The leading columns keep rep 0's values, so single-rep parsers
+// keep working unchanged; identifying columns that legitimately differ
+// across reps (e.g. `fault_plan`, which is drawn from the seed) also
+// show rep 0's draw. Cells empty in some reps (saturated points) are
+// aggregated over the reps that produced a value, and left empty when
+// none did. The metric columns replicated per experiment are listed in
+// repCols below.
 
 func latCell(r core.Result) string {
 	if r.Saturated {
@@ -180,4 +198,108 @@ func (r Runner) WriteCSV(ctx context.Context, w io.Writer, name string) error {
 // Runner for worker-pool and cache control.
 func WriteCSVByName(w io.Writer, name string, f Fidelity, seed int64) error {
 	return Runner{Fidelity: f, Seed: seed}.WriteCSV(context.Background(), w, name)
+}
+
+// repSeedStride derives replication seeds: rep i runs at Seed +
+// i*repSeedStride. The stride is large and odd so derived seeds never
+// collide across reps or with hand-picked neighboring seeds; each
+// derived seed expands its rng state once and is then served from the
+// per-seed cache like any other.
+const repSeedStride = 1000003
+
+// repCols names the metric columns aggregated across replications, per
+// experiment (see the schema note at the top of this file).
+var repCols = map[string][]string{
+	"fig5":       {"avg_latency", "throughput"},
+	"table3":     {"lookahead_latency", "no_lookahead_latency", "improvement_pct"},
+	"fig6":       {"avg_latency", "throughput"},
+	"table4":     {"avg_latency"},
+	"resilience": {"avg_latency", "sat_load", "sat_throughput"},
+	"scaling":    {"sat_load", "sat_throughput", "overdriven_throughput", "cycles_per_sec"},
+}
+
+// WriteCSVReps writes the experiment's CSV aggregated over reps
+// replications with per-rep derived seeds; reps <= 1 is WriteCSV. Each
+// replication runs the full experiment (sharing Runner.Cache, so points
+// identical across reps — there are none, since the seed differs — and
+// within one rep still memoize); the output schema is rep 0's rows plus
+// mean/stderr columns for the experiment's metric columns.
+func (r Runner) WriteCSVReps(ctx context.Context, w io.Writer, name string, reps int) error {
+	if reps <= 1 {
+		return r.WriteCSV(ctx, w, name)
+	}
+	cols, ok := repCols[name]
+	if !ok {
+		return fmt.Errorf("experiments: %q has no replicable CSV form", name)
+	}
+	recs := make([][][]string, reps)
+	for rep := 0; rep < reps; rep++ {
+		rr := r
+		rr.Seed = r.Seed + int64(rep)*repSeedStride
+		var buf bytes.Buffer
+		if err := rr.WriteCSV(ctx, &buf, name); err != nil {
+			return fmt.Errorf("experiments: rep %d: %w", rep, err)
+		}
+		rows, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			return fmt.Errorf("experiments: rep %d csv: %w", rep, err)
+		}
+		if rep > 0 && len(rows) != len(recs[0]) {
+			return fmt.Errorf("experiments: rep %d produced %d rows, rep 0 produced %d", rep, len(rows), len(recs[0]))
+		}
+		recs[rep] = rows
+	}
+	header := recs[0][0]
+	colIdx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		found := -1
+		for i, h := range header {
+			if h == c {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("experiments: %q schema has no column %q", name, c)
+		}
+		colIdx = append(colIdx, found)
+	}
+	cw := csv.NewWriter(w)
+	out := append([]string{}, header...)
+	for _, c := range cols {
+		out = append(out, c+"_mean", c+"_stderr")
+	}
+	if err := cw.Write(out); err != nil {
+		return err
+	}
+	for row := 1; row < len(recs[0]); row++ {
+		out = append([]string{}, recs[0][row]...)
+		for _, ci := range colIdx {
+			var s stats.Sample
+			for rep := 0; rep < reps; rep++ {
+				cell := recs[rep][row][ci]
+				if cell == "" {
+					continue // saturated in this rep
+				}
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return fmt.Errorf("experiments: %s row %d col %s rep %d: %w", name, row, header[ci], rep, err)
+				}
+				s.Add(v)
+			}
+			if s.N() == 0 {
+				out = append(out, "", "")
+				continue
+			}
+			stderr := s.StdDev() / math.Sqrt(float64(s.N()))
+			out = append(out,
+				strconv.FormatFloat(s.Mean(), 'f', 4, 64),
+				strconv.FormatFloat(stderr, 'f', 4, 64))
+		}
+		if err := cw.Write(out); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/csv"
 	"strings"
+	"sync"
 	"testing"
 
 	"lapses/internal/core"
@@ -90,6 +91,70 @@ func TestFig5AndTable4CSV(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "meta-adaptive") {
 		t.Error("table4 csv missing scheme column")
+	}
+}
+
+// TestWriteCSVReps: the replication writer must derive one seed per rep,
+// keep rep 0's identifying columns, and append mean/stderr columns
+// computed across the reps.
+func TestWriteCSVReps(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	seeds := map[int64]bool{}
+	r := Runner{Fidelity: Quick, Workers: 1, Seed: 7, run: func(c core.Config) (core.Result, error) {
+		mu.Lock()
+		seeds[c.Seed] = true
+		mu.Unlock()
+		// Latency varies with the seed so stderr is non-zero and exactly
+		// predictable: rep index = (seed-7)/stride, latency 100+rep.
+		rep := (c.Seed - 7) / repSeedStride
+		return core.Result{AvgLatency: 100 + float64(rep), Throughput: 0.5, Delivered: 1}, nil
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteCSVReps(context.Background(), &buf, "table4", 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int64{7, 7 + repSeedStride, 7 + 2*repSeedStride} {
+		if !seeds[want] {
+			t.Errorf("rep seed %d never ran (saw %v)", want, seeds)
+		}
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := recs[0]
+	if header[len(header)-2] != "avg_latency_mean" || header[len(header)-1] != "avg_latency_stderr" {
+		t.Fatalf("header = %v", header)
+	}
+	// Every data row: rep-0 value 100.000, mean 101 over {100,101,102},
+	// stderr = stddev(1)/sqrt(3) = 0.5774.
+	for _, rec := range recs[1:] {
+		if rec[3] != "100.000" {
+			t.Fatalf("rep-0 latency column = %q", rec[3])
+		}
+		if rec[len(rec)-2] != "101.0000" {
+			t.Fatalf("mean = %q", rec[len(rec)-2])
+		}
+		if rec[len(rec)-1] != "0.5774" {
+			t.Fatalf("stderr = %q", rec[len(rec)-1])
+		}
+	}
+	// reps=1 falls back to the plain schema.
+	buf.Reset()
+	if err := r.WriteCSVReps(context.Background(), &buf, "table4", 1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0]) != 5 {
+		t.Fatalf("reps=1 header = %v", recs[0])
+	}
+	// Experiments without a CSV form (or not in repCols) error cleanly.
+	if err := r.WriteCSVReps(context.Background(), &buf, "table5", 2); err == nil {
+		t.Error("table5 accepted for replication")
 	}
 }
 

@@ -34,6 +34,13 @@ const (
 	Default
 	// Paper uses the paper's 10000 warm-up + 400000 measured messages.
 	Paper
+	// Auto runs the adaptive measurement tier (core.Config.Auto): MSER-5
+	// warmup truncation plus CI-based early stopping, with Default's
+	// budget as the ceiling — each point measures only as long as its
+	// latency statistics need. Results are deterministic but not
+	// bit-comparable to the fixed tiers (different stopping rule), so
+	// goldens and bit-equivalence tests stay on Quick/Default/Paper.
+	Auto
 )
 
 // ParseFidelity converts a name to a Fidelity.
@@ -45,6 +52,8 @@ func ParseFidelity(s string) (Fidelity, error) {
 		return Default, nil
 	case "paper":
 		return Paper, nil
+	case "auto":
+		return Auto, nil
 	}
 	return 0, fmt.Errorf("experiments: unknown fidelity %q", s)
 }
@@ -57,6 +66,9 @@ func (f Fidelity) apply(c core.Config) core.Config {
 		c.Warmup, c.Measure = 2000, 30000
 	case Paper:
 		c = c.PaperFidelity()
+	case Auto:
+		c.Warmup, c.Measure = 2000, 30000
+		c.Auto = &core.AutoMeasure{RelTol: 0.03}
 	}
 	return c
 }

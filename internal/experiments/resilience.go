@@ -10,24 +10,30 @@ import (
 	"lapses/internal/core"
 	"lapses/internal/fault"
 	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/traffic"
 )
 
 // The resilience experiment measures what the paper's adaptivity recipe
-// buys when the network degrades: saturation throughput and mean latency
-// versus the number of failed links, comparing the full LAPSES router
-// (Duato adaptive routing, ES tables, LRU selection) against deterministic
-// routing over the same damage. Both run the identical degraded topology
-// and the identical up*/down* escape structure, so the gap isolates the
-// value of adaptive path diversity around faults — the scenario adaptive
-// routing is sold on but the paper never evaluates.
+// buys when the network degrades: saturation load/throughput and mean
+// latency versus the number of failed links, comparing the full LAPSES
+// router (Duato adaptive routing, ES tables, LRU selection) against
+// deterministic routing over the same damage. Both run the identical
+// degraded topology and the identical up*/down* escape structure, so the
+// gap isolates the value of adaptive path diversity around faults — the
+// scenario adaptive routing is sold on but the paper never evaluates.
 //
-// Saturation throughput is measured the standard way: drive the network
-// well past its saturation load with the latency guard lifted and a fixed
-// cycle budget, and report delivered flits/node/cycle over the measured
-// span (the sustained acceptance rate). Latency is reported at a moderate
-// load on the same plans. Load stays normalized to the healthy bisection,
-// so every fault count shares an x-axis.
+// Saturation is located by bisection (sweep.Bisect over
+// SaturationSpec probes) instead of an arbitrarily overdriven fixed
+// point or a dense load grid: the reported saturation load is the
+// highest offered load the degraded network still accepts at >= 85% of
+// demand (satAcceptFrac), and the reported throughput is the sustained acceptance rate
+// at that load. The search costs a logarithmic number of probes; the
+// per-experiment log line reports the measured probe/cycle total against
+// the dense-grid equivalent (the >= 2x cycle reduction is pinned by
+// TestBisectCycleReduction). Latency is reported at a moderate load on
+// the same plans. Load stays normalized to the healthy bisection, so
+// every fault count shares an x-axis.
 
 // ResilienceFaultCounts is the failed-link axis.
 var ResilienceFaultCounts = []int{0, 1, 2, 4, 6, 8}
@@ -37,8 +43,8 @@ var ResilienceFaultCounts = []int{0, 1, 2, 4, 6, 8}
 var ResiliencePatterns = []traffic.Kind{traffic.Uniform, traffic.Transpose}
 
 // ResilienceRow is one (pattern, fault count) point: latency at the
-// moderate load and saturation throughput for both routing policies over
-// the same fault plan.
+// moderate load and the bisection-located saturation point for both
+// routing policies over the same fault plan.
 type ResilienceRow struct {
 	Pattern traffic.Kind
 	// FaultLinks is the number of failed links; Plan is the shared damage
@@ -47,10 +53,21 @@ type ResilienceRow struct {
 	Plan       *fault.Plan
 	// AdaptiveLat/DetLat: mean latency at the moderate load.
 	AdaptiveLat, DetLat core.Result
-	// AdaptiveSat/DetSat: overdriven runs whose Throughput field is the
-	// saturation throughput.
+	// AdaptiveSat/DetSat: the highest-sustainable-load probe found by the
+	// saturation search; its Throughput is the sustained acceptance rate
+	// at the saturation point.
 	AdaptiveSat, DetSat core.Result
+	// AdaptiveSearch/DetSearch carry the full search outcomes: the
+	// saturation-load bracket and the probe/cycle accounting.
+	AdaptiveSearch, DetSearch sweep.BisectResult
 }
+
+// AdaptiveSatLoad and DetSatLoad are the located saturation loads (the
+// highest sustained probe load).
+func (r ResilienceRow) AdaptiveSatLoad() float64 { return r.AdaptiveSearch.Lo }
+
+// DetSatLoad is the deterministic policy's saturation load.
+func (r ResilienceRow) DetSatLoad() float64 { return r.DetSearch.Lo }
 
 // ThroughputGain returns the adaptive-over-deterministic saturation
 // throughput ratio, the experiment's headline number.
@@ -63,27 +80,6 @@ func (r ResilienceRow) ThroughputGain() float64 {
 
 // resilienceLatencyLoad is the moderate load the latency series uses.
 func resilienceLatencyLoad(traffic.Kind) float64 { return 0.2 }
-
-// resilienceSatLoad overdrives each pattern well past its healthy
-// saturation point.
-func resilienceSatLoad(p traffic.Kind) float64 {
-	if p == traffic.Uniform {
-		return 0.9
-	}
-	return 0.6
-}
-
-// resilienceSatCycles is the fixed cycle budget of a saturation-
-// throughput run per fidelity.
-func (f Fidelity) resilienceSatCycles() int64 {
-	switch f {
-	case Quick:
-		return 6000
-	case Paper:
-		return 60000
-	}
-	return 20000
-}
 
 // ResiliencePlans generates the shared fault plans for the given link
 // counts on the experiment mesh, seeded from seed (count 0 maps to nil).
@@ -106,6 +102,25 @@ func ResiliencePlans(base core.Config, counts []int, seed int64) (map[int]*fault
 	return plans, nil
 }
 
+// resiliencePolicies is the policy axis shared by the latency grid and
+// the saturation searches.
+var resiliencePolicies = []struct {
+	alg    core.Alg
+	sel    selection.Kind
+	lat    func(*ResilienceRow) *core.Result
+	sat    func(*ResilienceRow) *core.Result
+	search func(*ResilienceRow) *sweep.BisectResult
+}{
+	{core.AlgDuato, selection.LRU,
+		func(w *ResilienceRow) *core.Result { return &w.AdaptiveLat },
+		func(w *ResilienceRow) *core.Result { return &w.AdaptiveSat },
+		func(w *ResilienceRow) *sweep.BisectResult { return &w.AdaptiveSearch }},
+	{core.AlgXY, selection.StaticXY,
+		func(w *ResilienceRow) *core.Result { return &w.DetLat },
+		func(w *ResilienceRow) *core.Result { return &w.DetSat },
+		func(w *ResilienceRow) *sweep.BisectResult { return &w.DetSearch }},
+}
+
 // Resilience runs the full experiment grid through the sweep engine.
 func (r Runner) Resilience(ctx context.Context) ([]ResilienceRow, error) {
 	return r.resilience(ctx, ResiliencePatterns, ResilienceFaultCounts)
@@ -124,63 +139,79 @@ func (r Runner) resilience(ctx context.Context, patterns []traffic.Kind, counts 
 			rows = append(rows, ResilienceRow{Pattern: pat, FaultLinks: c, Plan: plans[c]})
 		}
 	}
-	policies := []struct {
-		alg core.Alg
-		sel selection.Kind
-		lat func(*ResilienceRow) *core.Result
-		sat func(*ResilienceRow) *core.Result
-	}{
-		{core.AlgDuato, selection.LRU,
-			func(w *ResilienceRow) *core.Result { return &w.AdaptiveLat },
-			func(w *ResilienceRow) *core.Result { return &w.AdaptiveSat }},
-		{core.AlgXY, selection.StaticXY,
-			func(w *ResilienceRow) *core.Result { return &w.DetLat },
-			func(w *ResilienceRow) *core.Result { return &w.DetSat }},
-	}
+	// Latency points ride the regular grid.
 	var g grid
 	for i := range rows {
 		row := &rows[i]
-		for _, pol := range policies {
-			base := r.base()
-			base.Algorithm = pol.alg
-			base.Selection = pol.sel
-			base.Pattern = row.Pattern
-			base.Faults = row.Plan
-
-			lat := base
+		for _, pol := range resiliencePolicies {
+			lat := r.base()
+			lat.Algorithm = pol.alg
+			lat.Selection = pol.sel
+			lat.Pattern = row.Pattern
+			lat.Faults = row.Plan
 			lat.Load = resilienceLatencyLoad(row.Pattern)
 			slot := pol.lat(row)
 			g.add(lat, func(res core.Result) { *slot = res })
-
-			// Saturation throughput: overdrive, lift the latency guard,
-			// fix the cycle budget; Result.Throughput is the sustained
-			// acceptance rate over the measured span.
-			sat := base
-			sat.Load = resilienceSatLoad(row.Pattern)
-			sat.SatLatency = 1e12
-			sat.MaxCycles = r.Fidelity.resilienceSatCycles()
-			sat.Measure = 1 << 30 // never completes; the budget ends the run
-			satSlot := pol.sat(row)
-			g.add(sat, func(res core.Result) { *satSlot = res })
 		}
 	}
 	if err := g.run(ctx, r.opts()); err != nil {
 		return nil, err
 	}
+	// Saturation points come from the bisection searches, all fanned out
+	// together: one search keeps only Fanout probes in flight per round,
+	// so running the independent (row, policy) searches concurrently is
+	// what fills the worker budget (options — including the shared memo
+	// cache — are the grid's).
+	var searches []satSearch
+	for i := range rows {
+		row := &rows[i]
+		for _, pol := range resiliencePolicies {
+			base := r.base()
+			base.Algorithm = pol.alg
+			base.Selection = pol.sel
+			base.Pattern = row.Pattern
+			base.Faults = row.Plan
+			lo, hi := satBracket(row.Pattern)
+			searchSlot, satSlot := pol.search(row), pol.sat(row)
+			searches = append(searches, satSearch{
+				name: fmt.Sprintf("resilience(%s, %d faults, %s)", row.Pattern, row.FaultLinks, pol.alg),
+				spec: SaturationSpec(base, lo, hi, r.Fidelity.satTol()),
+				sink: func(res sweep.BisectResult) {
+					*searchSlot = res
+					*satSlot = res.LoResult
+				},
+			})
+		}
+	}
+	if err := runSearches(ctx, searches, r.opts()); err != nil {
+		return nil, err
+	}
 	return rows, nil
+}
+
+// searchCost sums the probe/cycle accounting of a set of searches, for
+// the per-experiment log line.
+func searchCost(searches ...sweep.BisectResult) (probes int, cycles int64, dense int) {
+	for _, s := range searches {
+		probes += s.Probes
+		cycles += s.SimulatedCycles
+		dense += s.DensePoints
+	}
+	return
 }
 
 // RenderResilience prints the experiment in the repo's table style.
 func RenderResilience(w io.Writer, rows []ResilienceRow) {
-	fmt.Fprintln(w, "Resilience: saturation throughput (flits/node/cycle) and mean latency vs failed links")
+	fmt.Fprintln(w, "Resilience: saturation load/throughput (bisection) and mean latency vs failed links")
 	fmt.Fprintln(w, "(adaptive = LA Duato + ES + LRU; deterministic = up*/down* over the same damage)")
 	var pat traffic.Kind = -1
+	var searches []sweep.BisectResult
 	for _, r := range rows {
 		if r.Pattern != pat {
 			pat = r.Pattern
 			fmt.Fprintf(w, "\n[%s traffic]\n", pat)
-			fmt.Fprintf(w, "%-7s %-24s %10s %10s %6s %10s %10s\n",
-				"faults", "plan", "adpt-thr", "det-thr", "gain", "adpt-lat", "det-lat")
+			fmt.Fprintf(w, "%-7s %-24s %9s %9s %10s %10s %6s %10s %10s\n",
+				"faults", "plan", "adpt-sat", "det-sat", "adpt-thr", "det-thr", "gain", "adpt-lat", "det-lat")
 		}
 		plan := "-"
 		if r.Plan != nil {
@@ -189,11 +220,16 @@ func RenderResilience(w io.Writer, rows []ResilienceRow) {
 		if len(plan) > 24 {
 			plan = plan[:21] + "..."
 		}
-		fmt.Fprintf(w, "%-7d %-24s %10.4f %10.4f %6.2f %10s %10s\n",
+		fmt.Fprintf(w, "%-7d %-24s %9.3f %9.3f %10.4f %10.4f %6.2f %10s %10s\n",
 			r.FaultLinks, plan,
+			r.AdaptiveSatLoad(), r.DetSatLoad(),
 			r.AdaptiveSat.Throughput, r.DetSat.Throughput, r.ThroughputGain(),
 			r.AdaptiveLat.LatencyString(), r.DetLat.LatencyString())
+		searches = append(searches, r.AdaptiveSearch, r.DetSearch)
 	}
+	probes, cycles, dense := searchCost(searches...)
+	fmt.Fprintf(w, "\n[saturation search: %d probes / %d simulated cycles across %d searches; dense-grid path: %d points (>=2x cycle reduction pinned by TestBisectCycleReduction)]\n",
+		probes, cycles, len(searches), dense)
 }
 
 // ResilienceCSV writes one row per (pattern, fault count, policy).
@@ -201,7 +237,8 @@ func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"pattern", "fault_links", "fault_plan", "policy",
-		"avg_latency", "saturated", "sat_throughput",
+		"avg_latency", "saturated", "sat_load", "sat_throughput",
+		"search_probes", "search_cycles",
 	}); err != nil {
 		return err
 	}
@@ -211,12 +248,13 @@ func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
 			plan = r.Plan.Key()
 		}
 		for _, p := range []struct {
-			name string
-			lat  core.Result
-			sat  core.Result
+			name   string
+			lat    core.Result
+			sat    core.Result
+			search sweep.BisectResult
 		}{
-			{"adaptive", r.AdaptiveLat, r.AdaptiveSat},
-			{"deterministic", r.DetLat, r.DetSat},
+			{"adaptive", r.AdaptiveLat, r.AdaptiveSat, r.AdaptiveSearch},
+			{"deterministic", r.DetLat, r.DetSat, r.DetSearch},
 		} {
 			rec := []string{
 				r.Pattern.String(),
@@ -225,7 +263,10 @@ func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
 				p.name,
 				latCell(p.lat),
 				satCell(p.lat),
+				strconv.FormatFloat(p.search.Lo, 'f', 4, 64),
 				strconv.FormatFloat(p.sat.Throughput, 'f', 5, 64),
+				strconv.Itoa(p.search.Probes),
+				strconv.FormatInt(p.search.SimulatedCycles, 10),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

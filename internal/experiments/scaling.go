@@ -10,25 +10,30 @@ import (
 
 	"lapses/internal/core"
 	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/traffic"
 )
 
 // The scaling experiment measures how the simulator — and the paper's
 // adaptivity story — behaves as the mesh grows beyond the paper's 16x16:
-// saturation throughput (flits/node/cycle, the architectural observable)
-// and simulation wall-clock (the harness observable) from 8x8 up to
-// 32x32, adaptive (LA Duato + ES + LRU) versus deterministic (XY +
-// static), each at shards 1 and 4. The shard series exercises the
-// deterministic sharded kernel end to end: both shard counts must report
-// bit-identical Results (the smoke test asserts it), while their
-// wall-clock columns show what spatial parallelism buys on the host —
-// on a multi-core machine shards=4 approaches a 4x single-run speedup;
-// on one core it measures the barrier overhead.
+// the saturation load and sustained throughput (the architectural
+// observables, located by the bisection saturation search) and
+// simulation wall-clock (the harness observable) from 8x8 up to 32x32,
+// adaptive (LA Duato + ES + LRU) versus deterministic (XY + static),
+// each at shards 1 and 4. The shard series exercises the deterministic
+// sharded kernel end to end: both shard counts must report bit-identical
+// Results (the smoke test asserts it), while their wall-clock columns
+// show what spatial parallelism buys on the host — on a multi-core
+// machine shards=4 approaches a 4x single-run speedup; on one core it
+// measures the barrier overhead.
 //
-// Points run uncached through a timing wrapper (a memoized Result has no
-// meaningful wall-clock), with the sweep engine budgeting grid workers
-// against the shard count so the wall-clock column measures the
-// configured plan rather than oversubscription noise.
+// The timed points run uncached through a timing wrapper (a memoized
+// Result has no meaningful wall-clock), with the sweep engine budgeting
+// grid workers against the shard count so the wall-clock column measures
+// the configured plan rather than oversubscription noise. The saturation
+// search runs once per (mesh, policy) — it is shard-independent, since
+// shard counts never change a Result — and its probe/cycle accounting is
+// logged against the dense-grid equivalent.
 
 // ScalingDims is the mesh-size axis.
 var ScalingDims = [][]int{{8, 8}, {16, 16}, {24, 24}, {32, 32}}
@@ -41,10 +46,18 @@ type ScalingRow struct {
 	Dims   []int
 	Policy string // "adaptive" or "deterministic"
 	Shards int
-	// Sat is the overdriven run whose Throughput field is the saturation
-	// throughput.
+	// Sat is the overdriven fixed-budget run the wall-clock column
+	// times; it doubles as the shard-equivalence probe (its Result must
+	// be bit-identical across the shard axis).
 	Sat core.Result
-	// Wall is the wall-clock of the saturation run; CyclesPerSec is
+	// SatLoad is the bisection-located saturation load and SatSustained
+	// the run at it (Throughput = sustained acceptance); Search carries
+	// the full search outcome. All three are shard-independent and
+	// shared by the row's shard variants.
+	SatLoad      float64
+	SatSustained core.Result
+	Search       sweep.BisectResult
+	// Wall is the wall-clock of the overdriven run; CyclesPerSec is
 	// simulated cycles per wall second (TotalCycles / Wall).
 	Wall         time.Duration
 	CyclesPerSec float64
@@ -93,6 +106,11 @@ func (r Runner) Scaling(ctx context.Context) ([]ScalingRow, error) {
 		for _, pol := range policies {
 			for _, shards := range ScalingShardCounts {
 				base := r.base()
+				// The timed column is defined as a fixed-budget overdriven
+				// run (README: "when a fixed tier is still required"), so
+				// it sheds Fidelity Auto's adaptive tier — early stopping
+				// would change what wall-clock and ovr-thr measure.
+				base.Auto = nil
 				base.Dims = d
 				base.Algorithm = pol.alg
 				base.Selection = pol.sel
@@ -144,20 +162,77 @@ func (r Runner) Scaling(ctx context.Context) ([]ScalingRow, error) {
 			rows[i].CyclesPerSec = float64(rows[i].Sat.TotalCycles) / s
 		}
 	}
+	// Saturation search, once per (mesh, policy), all fanned out
+	// together: the located load is a property of the architecture, not
+	// of the execution plan, so the shard variants share it. Probes run
+	// unsharded through the regular options (worker budget, memo cache).
+	type meshPolicy struct {
+		mesh   string
+		policy string
+	}
+	// This dedup loop is single-goroutine (runSearches serializes the
+	// sinks later), so the map needs no locking here.
+	found := map[meshPolicy]sweep.BisectResult{}
+	queued := map[meshPolicy]bool{}
+	var searches []satSearch
+	for i := range rows {
+		key := meshPolicy{dimsString(rows[i].Dims), rows[i].Policy}
+		if queued[key] {
+			continue
+		}
+		queued[key] = true
+		base := r.base()
+		// Like the timed runs above, probes shed the adaptive tier (see
+		// SaturationSpec) and stay unsharded.
+		base.Dims = rows[i].Dims
+		for _, pol := range policies {
+			if pol.name == rows[i].Policy {
+				base.Algorithm = pol.alg
+				base.Selection = pol.sel
+			}
+		}
+		base.Pattern = traffic.Uniform
+		lo, hi := satBracket(traffic.Uniform)
+		searches = append(searches, satSearch{
+			name: fmt.Sprintf("scaling(%s, %s)", key.mesh, key.policy),
+			spec: SaturationSpec(base, lo, hi, r.Fidelity.satTol()),
+			sink: func(res sweep.BisectResult) { found[key] = res },
+		})
+	}
+	if err := runSearches(ctx, searches, r.opts()); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		res := found[meshPolicy{dimsString(rows[i].Dims), rows[i].Policy}]
+		rows[i].SatLoad = res.Lo
+		rows[i].SatSustained = res.LoResult
+		rows[i].Search = res
+	}
 	return rows, nil
 }
 
 // RenderScaling prints the experiment in the repo's table style.
 func RenderScaling(w io.Writer, rows []ScalingRow) {
-	fmt.Fprintln(w, "Scaling: saturation throughput and simulation wall-clock vs mesh size")
-	fmt.Fprintln(w, "(adaptive = LA Duato + ES + LRU; deterministic = XY + static; overdriven at load 0.9)")
-	fmt.Fprintf(w, "%-8s %-14s %7s %10s %12s %14s %8s\n",
-		"mesh", "policy", "shards", "sat-thr", "wall-clock", "cycles/sec", "skipped")
+	fmt.Fprintln(w, "Scaling: saturation point (bisection) and simulation wall-clock vs mesh size")
+	fmt.Fprintln(w, "(adaptive = LA Duato + ES + LRU; deterministic = XY + static; wall-clock overdriven at load 0.9)")
+	fmt.Fprintf(w, "%-8s %-14s %7s %9s %10s %10s %12s %14s %8s\n",
+		"mesh", "policy", "shards", "sat-load", "sat-thr", "ovr-thr", "wall-clock", "cycles/sec", "skipped")
+	var searches []sweep.BisectResult
+	seen := map[string]bool{}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-14s %7d %10.4f %12s %14.0f %8d\n",
+		fmt.Fprintf(w, "%-8s %-14s %7d %9.3f %10.4f %10.4f %12s %14.0f %8d\n",
 			dimsString(r.Dims), r.Policy, r.Shards,
+			r.SatLoad, r.SatSustained.Throughput,
 			r.Sat.Throughput, r.Wall.Round(time.Millisecond), r.CyclesPerSec, r.Sat.SkippedCycles)
+		key := dimsString(r.Dims) + "/" + r.Policy
+		if !seen[key] {
+			seen[key] = true
+			searches = append(searches, r.Search)
+		}
 	}
+	probes, cycles, dense := searchCost(searches...)
+	fmt.Fprintf(w, "\n[saturation search: %d probes / %d simulated cycles across %d searches; dense-grid path: %d points]\n",
+		probes, cycles, len(searches), dense)
 }
 
 func dimsString(dims []int) string {
@@ -176,7 +251,7 @@ func ScalingCSV(w io.Writer, rows []ScalingRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"mesh", "nodes", "policy", "shards",
-		"sat_throughput", "wall_ns", "cycles_per_sec",
+		"sat_load", "sat_throughput", "overdriven_throughput", "wall_ns", "cycles_per_sec",
 	}); err != nil {
 		return err
 	}
@@ -190,6 +265,8 @@ func ScalingCSV(w io.Writer, rows []ScalingRow) error {
 			strconv.Itoa(nodes),
 			r.Policy,
 			strconv.Itoa(r.Shards),
+			strconv.FormatFloat(r.SatLoad, 'f', 4, 64),
+			strconv.FormatFloat(r.SatSustained.Throughput, 'f', 5, 64),
 			strconv.FormatFloat(r.Sat.Throughput, 'f', 5, 64),
 			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
 			strconv.FormatFloat(r.CyclesPerSec, 'f', 0, 64),

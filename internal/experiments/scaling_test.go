@@ -25,6 +25,7 @@ func TestScalingQuick(t *testing.T) {
 		t.Fatalf("got %d rows, want 8", len(rows))
 	}
 	byPoint := map[string]ScalingRow{}
+	adaptiveSat := map[string]float64{}
 	for _, row := range rows {
 		if row.Sat.Throughput <= 0 {
 			t.Fatalf("%s/%s/shards=%d: zero saturation throughput", dimsString(row.Dims), row.Policy, row.Shards)
@@ -33,14 +34,37 @@ func TestScalingQuick(t *testing.T) {
 			t.Fatalf("%s/%s/shards=%d: missing wall-clock (%v, %v cycles/sec)",
 				dimsString(row.Dims), row.Policy, row.Shards, row.Wall, row.CyclesPerSec)
 		}
+		if !row.Search.Converged || row.SatLoad <= 0 || row.SatSustained.Throughput <= 0 {
+			t.Fatalf("%s/%s: saturation search malformed: %s", dimsString(row.Dims), row.Policy, row.Search)
+		}
+		if row.Search.Probes >= row.Search.DensePoints {
+			t.Fatalf("%s/%s: search probed %d points, dense grid is %d",
+				dimsString(row.Dims), row.Policy, row.Search.Probes, row.Search.DensePoints)
+		}
 		key := dimsString(row.Dims) + "/" + row.Policy
 		if prev, ok := byPoint[key]; ok {
 			if prev.Sat != row.Sat {
 				t.Errorf("%s: shards=%d diverged from shards=%d:\n%+v\n%+v",
 					key, row.Shards, prev.Shards, row.Sat, prev.Sat)
 			}
+			// The search is shard-independent and shared across the
+			// shard variants of a point.
+			if prev.SatLoad != row.SatLoad || prev.Search != row.Search {
+				t.Errorf("%s: shard variants disagree on the saturation search", key)
+			}
 		} else {
 			byPoint[key] = row
+		}
+		if row.Policy == "adaptive" {
+			adaptiveSat[dimsString(row.Dims)] = row.SatLoad
+		}
+	}
+	// The architectural claim: on every mesh the adaptive router's
+	// saturation load is at least the deterministic router's.
+	for _, row := range rows {
+		if row.Policy == "deterministic" && row.SatLoad > adaptiveSat[dimsString(row.Dims)]+1e-9 {
+			t.Errorf("%s: deterministic saturation load %.3f above adaptive %.3f",
+				dimsString(row.Dims), row.SatLoad, adaptiveSat[dimsString(row.Dims)])
 		}
 	}
 
@@ -52,7 +76,7 @@ func TestScalingQuick(t *testing.T) {
 	if want := 1 + len(rows); len(lines) != want {
 		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
 	}
-	if !strings.HasPrefix(lines[0], "mesh,nodes,policy,shards") {
+	if !strings.HasPrefix(lines[0], "mesh,nodes,policy,shards,sat_load,sat_throughput,overdriven_throughput") {
 		t.Fatalf("CSV header: %q", lines[0])
 	}
 }

@@ -520,6 +520,15 @@ type RunParams struct {
 	// nothing happens); the knob exists for regression tests and
 	// diagnostics.
 	NoFastForward bool
+	// Adaptive, when non-nil, switches the run to adaptive measurement:
+	// every delivered message in [WarmupMessages, WarmupMessages+
+	// MeasureMessages) is fed to the controller (callers normally pass
+	// WarmupMessages = 0 — warmup truncation is the controller's job)
+	// and the loop ends as soon as the controller reports Stopped(),
+	// instead of waiting for the full MeasureMessages count. The
+	// controller consumes deliveries in barrier replay order, so
+	// adaptive runs stay bit-identical across shard counts.
+	Adaptive *stats.Adaptive
 }
 
 // Run executes the measurement loop: inject continuously, measure messages
@@ -590,12 +599,16 @@ func (n *Network) Run(p RunParams) *stats.Run {
 		if msg.ID < lo || msg.ID >= hi {
 			return
 		}
+		lat := float64(msg.ArriveTime - msg.CreateTime)
 		run.Record(
-			float64(msg.ArriveTime-msg.CreateTime),
+			lat,
 			float64(msg.ArriveTime-msg.InjectTime),
 			msg.Hops,
 			msg.Length,
 		)
+		if p.Adaptive != nil {
+			p.Adaptive.Add(lat, msg.Length, now)
+		}
 		measuredDone++
 		if firstDeliver < 0 {
 			firstDeliver = now
@@ -605,6 +618,14 @@ func (n *Network) Run(p RunParams) *stats.Run {
 	defer func() { n.onArrive = prev }()
 
 	for measuredDone < p.MeasureMessages {
+		// The adaptive controller ends the loop as soon as it stops
+		// (converged, or its own sample ceiling); the message-count
+		// condition above stays the backstop. A nil check per cycle
+		// keeps the fixed path's loop head branch-predictable instead
+		// of an indirect call.
+		if p.Adaptive != nil && p.Adaptive.Stopped() {
+			break
+		}
 		n.Step()
 		if n.now >= p.MaxCycles {
 			run.Saturated = true
