@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -58,11 +59,15 @@ type entry struct {
 	// cycles/sec is computed over, and the number the adaptive-
 	// measurement entries exist to shrink.
 	SimulatedCyclesTotal int64 `json:"simulated_cycles_total,omitempty"`
+	// EventMode records that the entry ran the event-driven execution
+	// mode (schema 4) rather than the cycle-accurate kernel.
+	EventMode bool `json:"event_mode,omitempty"`
 }
 
 // snapshot is the BENCH_<date>.json schema. Schema 2 added per-entry
 // gomaxprocs/shards/skipped_frac; schema 3 adds simulated_cycles_total
-// and the sweep/16pt/auto + bisect/16x16 entries. Older baselines still
+// and the sweep/16pt/auto + bisect/16x16 entries; schema 4 adds
+// event_mode and the sim/16x16/.../events entries. Older baselines still
 // load for comparison (schema-1 entries are implicitly shards=1).
 type snapshot struct {
 	Schema     int     `json:"schema"`
@@ -80,6 +85,7 @@ func main() {
 	minTime := flag.Duration("mintime", 2*time.Second, "minimum measurement time per case")
 	compare := flag.String("compare", "", "baseline snapshot to diff against; regressions past -tolerance exit non-zero")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression per entry for -compare (0.25 = 25%)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline entries the current run no longer measures (intentional bench removals)")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
@@ -89,7 +95,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     3,
+		Schema:     4,
 		Date:       time.Now().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -109,6 +115,7 @@ func main() {
 			return r.TotalCycles
 		})
 		e.Shards = c.EffectiveShards()
+		e.EventMode = c.EventMode
 		if total > 0 {
 			e.SkippedFrac = float64(skipped) / float64(total)
 		}
@@ -142,6 +149,17 @@ func main() {
 		c := simPoint(0.5)
 		c.Shards = 4
 		sim("sim/16x16/load=0.50/shards=4", c)
+	}
+
+	// Event-driven execution at the same operating points: worm events and
+	// the express path versus the cycle-accurate kernel. The 0.05 entry is
+	// the acceptance point of the event-mode issue (the regime express was
+	// built for); 0.2 shows how the win shrinks as contention forces the
+	// fallback pipeline.
+	for _, load := range []float64{0.05, 0.2} {
+		c := simPoint(load)
+		c.EventMode = true
+		sim(fmt.Sprintf("sim/16x16/load=%.2f/events", load), c)
 	}
 
 	// Construction cost: what every sweep point pays before cycle zero.
@@ -240,25 +258,15 @@ func main() {
 	}
 
 	if *compare != "" {
-		if !compareBaseline(snap, *compare, *tolerance) {
+		if !compareBaseline(snap, *compare, *tolerance, *allowMissing) {
 			os.Exit(1)
 		}
 	}
 }
 
-// compareBaseline prints per-entry deltas against the baseline snapshot
-// and reports whether every shared entry stayed within tolerance.
-// Entries missing on either side — new, renamed or retired benches —
-// warn and are skipped rather than failing the gate.
-// allocs/op is always gated: allocation counts are deterministic across
-// machines. ns/op is gated only when the entry's GOMAXPROCS matches the
-// baseline's — wall time measured on a different machine class (a CI
-// runner vs the dev box) varies for reasons that are not regressions, so
-// there it prints informationally. Entries new in this snapshot (or
-// present only in the baseline) are informational. Baseline entries that
-// recorded a different shard count are skipped entirely: their ns/op
-// measures a different execution plan.
-func compareBaseline(cur snapshot, path string, tol float64) bool {
+// compareBaseline loads the baseline snapshot at path and diffs the fresh
+// measurements against it (see compareSnapshots).
+func compareBaseline(cur snapshot, path string, tol float64, allowMissing bool) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -267,19 +275,37 @@ func compareBaseline(cur snapshot, path string, tol float64) bool {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
 	}
+	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", path, tol*100)
+	return compareSnapshots(os.Stdout, cur, base, tol, allowMissing)
+}
+
+// compareSnapshots prints per-entry deltas against the baseline snapshot
+// and reports whether the gate passes: every shared entry within
+// tolerance, and every baseline entry still measured.
+//
+// allocs/op is always gated: allocation counts are deterministic across
+// machines. ns/op is gated only when the entry's GOMAXPROCS matches the
+// baseline's — wall time measured on a different machine class (a CI
+// runner vs the dev box) varies for reasons that are not regressions, so
+// there it prints informationally. Entries new in this snapshot have no
+// baseline to regress against and warn only — failing them would force a
+// baseline regenerated in the same commit as every bench-suite addition.
+// Baseline entries that recorded a different shard count are skipped
+// entirely: their ns/op measures a different execution plan. Baseline
+// entries the current run no longer measures FAIL the gate unless
+// allowMissing: a silently dropped entry is dropped perf coverage, which
+// is exactly the drift -compare exists to catch (pass -allow-missing when
+// retiring a bench intentionally).
+func compareSnapshots(w io.Writer, cur, base snapshot, tol float64, allowMissing bool) bool {
 	baseByName := make(map[string]entry, len(base.Entries))
 	for _, e := range base.Entries {
 		baseByName[e.Name] = e
 	}
-	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", path, tol*100)
 	ok := true
 	for _, e := range cur.Entries {
 		b, found := baseByName[e.Name]
 		if !found {
-			// Tolerated by design: new and renamed entries must not fail
-			// the gate, or every bench-suite evolution would need a
-			// baseline regenerated in the same commit.
-			fmt.Printf("%-28s warning: no baseline entry; skipped\n", e.Name)
+			fmt.Fprintf(w, "%-28s warning: no baseline entry; skipped\n", e.Name)
 			continue
 		}
 		delete(baseByName, e.Name)
@@ -292,7 +318,7 @@ func compareBaseline(cur snapshot, path string, tol float64) bool {
 			eShards = 1
 		}
 		if bShards != eShards {
-			fmt.Printf("%-28s (baseline ran shards=%d, now %d; skipped)\n", e.Name, bShards, eShards)
+			fmt.Fprintf(w, "%-28s (baseline ran shards=%d, now %d; skipped)\n", e.Name, bShards, eShards)
 			continue
 		}
 		bProcs := b.Gomaxprocs
@@ -311,14 +337,19 @@ func compareBaseline(cur snapshot, path string, tol float64) bool {
 		if !sameMachine {
 			note = fmt.Sprintf(" (ns/op informational: baseline gomaxprocs=%d, now %d)", bProcs, e.Gomaxprocs)
 		}
-		fmt.Printf("%-28s ns/op %+7.1f%%  allocs/op %+7.1f%%  %s%s\n",
+		fmt.Fprintf(w, "%-28s ns/op %+7.1f%%  allocs/op %+7.1f%%  %s%s\n",
 			e.Name, nsDelta*100, alDelta*100, verdict, note)
 	}
 	for name := range baseByName {
-		fmt.Printf("%-28s warning: baseline entry not measured (renamed or removed); skipped\n", name)
+		if allowMissing {
+			fmt.Fprintf(w, "%-28s warning: baseline entry not measured (renamed or removed); allowed by -allow-missing\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "%-28s MISSING: baseline entry not measured (renamed or removed); pass -allow-missing if intentional\n", name)
+		ok = false
 	}
 	if !ok {
-		fmt.Printf("FAIL: regression beyond %.0f%% tolerance\n", tol*100)
+		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% tolerance or missing baseline entries\n", tol*100)
 	}
 	return ok
 }

@@ -49,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for plottable experiments")
 	reps := flag.Int("reps", 1, "replications per experiment under derived seeds; CSVs gain mean/stderr columns")
+	events := flag.Bool("events", false, "run every point on the event-driven kernel (statistically equivalent, several times faster, not bit-comparable to cycle mode)")
 	flag.Parse()
 	if *reps < 1 {
 		fatal(fmt.Errorf("-reps %d < 1", *reps))
@@ -62,10 +63,11 @@ func main() {
 	defer stop()
 
 	runner := experiments.Runner{
-		Fidelity: f,
-		Seed:     *seed,
-		Workers:  *workers,
-		Cache:    sweep.NewCache(),
+		Fidelity:  f,
+		Seed:      *seed,
+		Workers:   *workers,
+		Cache:     sweep.NewCache(),
+		EventMode: *events,
 	}
 	names := []string{*exp}
 	if *exp == "all" {

@@ -62,6 +62,7 @@ func main() {
 	faults := flag.String("faults", "", "fault plan: a count of random link failures, or an explicit \"A-B,...,rN\" spec")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for random fault plans")
 	shards := flag.Int("shards", 1, "row-band shards stepping the run in parallel (results are bit-identical for any count)")
+	events := flag.Bool("events", false, "event-driven kernel: observationally equivalent to cycle mode, not bit-identical (see README)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -99,8 +100,15 @@ func main() {
 	}
 	cfg.Load, cfg.MsgLen = *load, *msgLen
 	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards %d: shard count must be at least 1", *shards))
+	}
 	cfg.Shards = *shards
+	cfg.EventMode = *events
 	if *auto {
+		if *autoTol <= 0 {
+			fatal(fmt.Errorf("-auto-tol %g: relative CI tolerance must be positive", *autoTol))
+		}
 		cfg.Auto = &core.AutoMeasure{RelTol: *autoTol}
 	}
 	if *faults != "" {
@@ -134,8 +142,12 @@ func main() {
 	// jump is observationally neutral), so MeasuredCycles never shrinks
 	// because fast-forward ran.
 	fmt.Printf("measured       %d-cycle window, %d total simulated\n", res.MeasuredCycles, res.TotalCycles)
-	fmt.Printf("kernel         %d shard(s), %d of %d cycles fast-forwarded\n",
-		cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
+	kernel := "cycle-driven"
+	if cfg.EventMode {
+		kernel = "event-driven"
+	}
+	fmt.Printf("kernel         %s, %d shard(s), %d of %d cycles fast-forwarded\n",
+		kernel, cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
 	if cfg.Auto != nil {
 		fmt.Printf("auto           converged=%t after %d messages (CI ±%.2f, target ±%.1f%% of mean)\n",
 			res.Converged, res.Delivered, res.LatencyCI, *autoTol*100)

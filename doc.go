@@ -75,4 +75,17 @@
 // (cmd/lapses-experiments -exp scaling) drives both mechanisms end to end
 // from 8x8 to 32x32 meshes; internal/sweep budgets its grid workers
 // against per-run shard counts so sweeps never oversubscribe GOMAXPROCS.
+//
+// Orthogonal to sharding, core.Config.EventMode selects the event-driven
+// kernel: whole-message transfers collapse into single "worm" events
+// (one event, one batched credit, one deferred VC release per
+// uncontended hop), with any hop the router cannot absorb in O(1)
+// unpacking back onto the unchanged cycle-accurate path. Event mode is
+// observationally equivalent — latency within the adaptive controller's
+// CI and throughput within fractions of a percent of the cycle kernel,
+// several times the cycles/sec — but not bit-identical and not
+// shard-count-invariant, so Config.Key() marks it (",ev") and the
+// goldens and bit-equivalence suites stay on the cycle kernel. Use
+// -events for sweeps and experiments; use the default cycle kernel
+// whenever bits matter. See README.md "Execution modes".
 package lapses

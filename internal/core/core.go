@@ -164,6 +164,18 @@ type Config struct {
 	// clamped to the row count. Sweeps budget their worker pool against
 	// this so grid workers x shards never oversubscribes GOMAXPROCS.
 	Shards int
+
+	// EventMode switches the run to event-driven execution: flits landing
+	// on quiescent routers transit on an O(1)-per-flit express path with
+	// send and credit times computed from the pipeline's timing constants,
+	// while routers carrying buffered traffic fall back to the unchanged
+	// cycle-accurate pipeline. Event mode is observationally equivalent to
+	// cycle mode (latency and throughput match within measurement noise;
+	// uncontended per-message latency is exact) but not bit-identical —
+	// the cycle-accurate kernel remains the golden-pinned oracle. Runs are
+	// deterministic for a fixed configuration and shard count. See README
+	// "Execution modes".
+	EventMode bool
 }
 
 // AutoMeasure configures the adaptive measurement tier (Config.Auto).
@@ -284,6 +296,11 @@ func (c Config) Key() string {
 	// variant served from the other's cache line.
 	if c.Shards > 1 {
 		fmt.Fprintf(&b, ",sh%d", c.Shards)
+	}
+	// Event mode changes observed results (it is equivalent, not
+	// bit-identical), so it always keys separately from cycle mode.
+	if c.EventMode {
+		b.WriteString(",ev")
 	}
 	// The adaptive tier is keyed by its resolved parameters: two configs
 	// that default to the same stopping rule share a cache line, while
@@ -538,6 +555,7 @@ func Run(cfg Config) (Result, error) {
 		MsgLen:    cfg.MsgLen,
 		Seed:      cfg.Seed,
 		Shards:    cfg.Shards,
+		EventMode: cfg.EventMode,
 	}
 	if cfg.Trace == nil {
 		ncfg.Pattern = traffic.New(cfg.Pattern, m)

@@ -256,6 +256,7 @@ func TestConfigKey(t *testing.T) {
 		func(c *Config) { c.SatLatency = 1234 },
 		func(c *Config) { c.Seed = 42 },
 		func(c *Config) { c.Shards = 4 },
+		func(c *Config) { c.EventMode = true },
 	}
 	// Every field of Config must have a perturbation above: a field
 	// added without extending Key would silently alias memo-cache

@@ -85,6 +85,12 @@ type Runner struct {
 	Workers  int
 	Cache    *sweep.Cache
 
+	// EventMode runs every point on the event-driven kernel: same
+	// statistics within CI noise, several times the cycle rate, but not
+	// bit-comparable to cycle-mode runs (configs key differently, so a
+	// shared Cache never mixes the two).
+	EventMode bool
+
 	// run replaces core.Run in tests of the grid plumbing; nil means the
 	// real simulator.
 	run func(core.Config) (core.Result, error)
@@ -100,6 +106,7 @@ func (r Runner) base() core.Config {
 	c := core.DefaultConfig()
 	c.Selection = selection.StaticXY
 	c.Seed = r.Seed
+	c.EventMode = r.EventMode
 	return r.Fidelity.apply(c)
 }
 

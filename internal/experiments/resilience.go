@@ -225,6 +225,15 @@ func RenderResilience(w io.Writer, rows []ResilienceRow) {
 			r.AdaptiveSatLoad(), r.DetSatLoad(),
 			r.AdaptiveSat.Throughput, r.DetSat.Throughput, r.ThroughputGain(),
 			r.AdaptiveLat.LatencyString(), r.DetLat.LatencyString())
+		for _, s := range []struct {
+			name   string
+			search sweep.BisectResult
+		}{{"adaptive", r.AdaptiveSearch}, {"deterministic", r.DetSearch}} {
+			if !s.search.Converged {
+				fmt.Fprintf(w, "warning: %s saturation search at %d faults did not converge (bracket [%.3f, %.3f]); sat-load is a lower bound\n",
+					s.name, r.FaultLinks, s.search.Lo, s.search.Hi)
+			}
+		}
 		searches = append(searches, r.AdaptiveSearch, r.DetSearch)
 	}
 	probes, cycles, dense := searchCost(searches...)
@@ -237,7 +246,7 @@ func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"pattern", "fault_links", "fault_plan", "policy",
-		"avg_latency", "saturated", "sat_load", "sat_throughput",
+		"avg_latency", "saturated", "sat_load", "sat_throughput", "sat_converged",
 		"search_probes", "search_cycles",
 	}); err != nil {
 		return err
@@ -265,6 +274,7 @@ func ResilienceCSV(w io.Writer, rows []ResilienceRow) error {
 				satCell(p.lat),
 				strconv.FormatFloat(p.search.Lo, 'f', 4, 64),
 				strconv.FormatFloat(p.sat.Throughput, 'f', 5, 64),
+				strconv.FormatBool(p.search.Converged),
 				strconv.Itoa(p.search.Probes),
 				strconv.FormatInt(p.search.SimulatedCycles, 10),
 			}

@@ -81,7 +81,7 @@ func TestResilienceQuick(t *testing.T) {
 	if want := 1 + 2*len(rows); len(lines) != want {
 		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
 	}
-	if !strings.HasPrefix(lines[0], "pattern,fault_links,fault_plan,policy,avg_latency,saturated,sat_load,sat_throughput") {
+	if !strings.HasPrefix(lines[0], "pattern,fault_links,fault_plan,policy,avg_latency,saturated,sat_load,sat_throughput,sat_converged") {
 		t.Fatalf("CSV header: %q", lines[0])
 	}
 }

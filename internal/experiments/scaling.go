@@ -228,6 +228,10 @@ func RenderScaling(w io.Writer, rows []ScalingRow) {
 		if !seen[key] {
 			seen[key] = true
 			searches = append(searches, r.Search)
+			if !r.Search.Converged {
+				fmt.Fprintf(w, "warning: %s/%s saturation search did not converge (bracket [%.3f, %.3f]); sat-load is a lower bound\n",
+					dimsString(r.Dims), r.Policy, r.Search.Lo, r.Search.Hi)
+			}
 		}
 	}
 	probes, cycles, dense := searchCost(searches...)
@@ -251,7 +255,7 @@ func ScalingCSV(w io.Writer, rows []ScalingRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"mesh", "nodes", "policy", "shards",
-		"sat_load", "sat_throughput", "overdriven_throughput", "wall_ns", "cycles_per_sec",
+		"sat_load", "sat_throughput", "sat_converged", "overdriven_throughput", "wall_ns", "cycles_per_sec",
 	}); err != nil {
 		return err
 	}
@@ -267,6 +271,7 @@ func ScalingCSV(w io.Writer, rows []ScalingRow) error {
 			strconv.Itoa(r.Shards),
 			strconv.FormatFloat(r.SatLoad, 'f', 4, 64),
 			strconv.FormatFloat(r.SatSustained.Throughput, 'f', 5, 64),
+			strconv.FormatBool(r.Search.Converged),
 			strconv.FormatFloat(r.Sat.Throughput, 'f', 5, 64),
 			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
 			strconv.FormatFloat(r.CyclesPerSec, 'f', 0, 64),

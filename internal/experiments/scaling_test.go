@@ -76,7 +76,7 @@ func TestScalingQuick(t *testing.T) {
 	if want := 1 + len(rows); len(lines) != want {
 		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
 	}
-	if !strings.HasPrefix(lines[0], "mesh,nodes,policy,shards,sat_load,sat_throughput,overdriven_throughput") {
+	if !strings.HasPrefix(lines[0], "mesh,nodes,policy,shards,sat_load,sat_throughput,sat_converged,overdriven_throughput") {
 		t.Fatalf("CSV header: %q", lines[0])
 	}
 }

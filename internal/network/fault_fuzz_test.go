@@ -26,17 +26,20 @@ import (
 //     after the drain;
 //  4. dead equipment stays dark — zero flits on failed links.
 //
-// The shard count is fuzzed alongside the fault plan: sharded stepping
+// The shard count and the execution kernel (cycle- vs event-driven) are
+// fuzzed alongside the fault plan: sharded stepping
 // must uphold every conservation invariant over arbitrary damage, not
-// just the configurations the golden grids pin.
+// just the configurations the golden grids pin, and the event kernel's
+// express machinery must conserve messages and flits over the same
+// degraded topologies it never sees in the timing-pinned tests.
 //
 // Run continuously with: go test -run '^$' -fuzz FuzzFaultPlan ./internal/network
 func FuzzFaultPlan(f *testing.F) {
-	f.Add(int64(1), uint8(3), uint8(1), true, false, uint8(1))
-	f.Add(int64(2), uint8(0), uint8(0), false, false, uint8(2))
-	f.Add(int64(3), uint8(6), uint8(2), true, true, uint8(4))
-	f.Add(int64(4), uint8(1), uint8(0), false, true, uint8(3))
-	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool, shards uint8) {
+	f.Add(int64(1), uint8(3), uint8(1), true, false, uint8(1), false)
+	f.Add(int64(2), uint8(0), uint8(0), false, false, uint8(2), true)
+	f.Add(int64(3), uint8(6), uint8(2), true, true, uint8(4), true)
+	f.Add(int64(4), uint8(1), uint8(0), false, true, uint8(3), false)
+	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool, shards uint8, events bool) {
 		m := topology.NewMesh(6, 6)
 		if torus {
 			m = topology.NewTorus(5, 5)
@@ -107,6 +110,7 @@ func FuzzFaultPlan(f *testing.F) {
 			MsgLen:    20,
 			Seed:      seed,
 			Shards:    1 + int(shards%6),
+			EventMode: events,
 		}
 		if err := cfg.Validate(); err != nil {
 			t.Fatal(err)

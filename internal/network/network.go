@@ -66,6 +66,19 @@ type Config struct {
 	// radix of the slowest-varying dimension so every shard owns at
 	// least one full row.
 	Shards int
+	// EventMode switches flit arrival to event-driven execution: a flit
+	// landing on a quiescent router takes the express path (see
+	// router.EventFlit), transiting in O(1) work per flit with send and
+	// credit times computed from the pipeline's timing constants instead
+	// of emulated stage by stage. Routers carrying buffered traffic fall
+	// back to the unchanged cycle-accurate pipeline. Event mode is
+	// observationally equivalent to cycle mode (per-message latency is
+	// exact on uncontended paths, and distributions match within
+	// measurement noise under load) but not bit-identical: admission
+	// decisions consult arbiter and selector state at arrival time rather
+	// than at the emulated SA cycle. Runs remain deterministic for a
+	// fixed configuration and shard count.
+	EventMode bool
 }
 
 // Validate reports configuration errors.
@@ -105,26 +118,40 @@ func (c Config) Validate() error {
 
 // flitEvent is a flit in flight on a wire, due to latch into its
 // destination router's input buffer. 24 bytes; copied twice per link
-// traversal.
+// traversal. In event mode, worm marks the event as an entire message
+// crossing the wire as one unit: fl is the head flit and the remaining
+// flits of fl.Msg follow at link rate behind it (see router.EventWorm).
 type flitEvent struct {
 	fl   flow.Flit
 	node topology.NodeID
 	port topology.Port
 	vc   flow.VCID
+	worm bool
 }
 
-// creditEvent is a credit returning upstream (or to an NI for the
-// injection port). Credits are half of all wheel traffic, and an 8-byte
-// event keeps that half cheap. Flit and credit events ride separate
+// creditEvent is a credit return (or, in event mode, a deferred express
+// VC release) due at its cycle. Credits are a large share of all wheel
+// traffic, so the event stays small. Flit and credit events ride separate
 // wheels: within a cycle they touch disjoint state (input buffers vs
 // output credit counters), so processing one class before the other is
 // indistinguishable from the old interleaved order.
 type creditEvent struct {
 	node topology.NodeID
+	n    int32 // credit count: 1 on the cycle path, a whole worm batched in event mode
 	port topology.Port
 	vc   flow.VCID
-	toNI bool
+	kind uint8
 }
+
+const (
+	// creditToRouter returns n credits to a router output VC.
+	creditToRouter uint8 = iota
+	// creditToNI returns n injection credits to a node's NI.
+	creditToNI
+	// creditRelease frees the express output VC a worm transit claimed
+	// (event mode only; n is unused).
+	creditRelease
+)
 
 // wheel is a fixed-horizon event calendar for link and credit traversal.
 // Its slots are a ring of reusable typed buffers: take hands the caller
@@ -264,13 +291,23 @@ func New(cfg Config) *Network {
 	bounds := shardBounds(m, cfg.Shards)
 	n.shards = make([]*shard, len(bounds)-1)
 	n.nodeShard = make([]int32, m.N())
+	// Cycle mode schedules events at most 1+LinkDelay cycles out. Event
+	// mode reaches further: a worm transit's batched credit and deferred
+	// VC release land up to BufDepth+4+LinkDelay cycles after the head's
+	// arrival, and unpacking a worm schedules its trailing flits up to
+	// BufDepth-1 cycles ahead (worms only exist for messages no longer
+	// than the buffer depth).
+	horizon := cfg.LinkDelay + 2
+	if cfg.EventMode {
+		horizon = cfg.LinkDelay + cfg.Router.BufDepth + 6
+	}
 	for b := range n.shards {
 		sh := &shard{
 			idx:        b,
 			lo:         bounds[b],
 			hi:         bounds[b+1],
-			flits:      newWheel[flitEvent](cfg.LinkDelay + 2),
-			credits:    newWheel[creditEvent](cfg.LinkDelay + 2),
+			flits:      newWheel[flitEvent](horizon),
+			credits:    newWheel[creditEvent](horizon),
 			outFlits:   make([][]timedFlit, len(bounds)-1),
 			outCredits: make([][]timedCredit, len(bounds)-1),
 		}
@@ -311,6 +348,9 @@ func New(cfg Config) *Network {
 		node := topology.NodeID(id)
 		r := n.routers[id]
 		r.SetFabric(n.sendFunc(node), n.creditFunc(node), n.deliverFunc(node))
+		if cfg.EventMode {
+			r.SetEventFabric(n.wormSendFunc(node), n.creditNFunc(node), n.releaseFunc(node))
+		}
 		n.nis[id] = newNI(n, node, r)
 	}
 	n.lastOcc = make([]int32, m.N())
@@ -362,19 +402,75 @@ func (n *Network) creditFunc(node topology.NodeID) router.CreditFunc {
 	return func(from topology.NodeID, p topology.Port, v flow.VCID, now int64) {
 		at := now + 1 + int64(n.cfg.LinkDelay)
 		if p == topology.PortLocal {
-			src.credits.schedule(at, creditEvent{toNI: true, node: node, vc: v})
+			src.credits.schedule(at, creditEvent{kind: creditToNI, node: node, vc: v, n: 1})
 			return
 		}
 		l := links[p]
 		if !l.ok {
 			panic(fmt.Sprintf("network: credit out port %d with no link", p))
 		}
-		e := creditEvent{node: l.node, port: l.port, vc: v}
+		e := creditEvent{node: l.node, port: l.port, vc: v, n: 1}
 		if d := n.nodeShard[l.node]; int(d) == src.idx {
 			src.credits.schedule(at, e)
 		} else {
 			src.outCredits[d] = append(src.outCredits[d], timedCredit{at: at, e: e})
 		}
+	}
+}
+
+// wormSendFunc is sendFunc's event-mode sibling: the flit is the head of
+// an entire worm crossing the wire as one event (see router.EventWorm).
+func (n *Network) wormSendFunc(node topology.NodeID) router.WormSendFunc {
+	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
+	src := n.shards[n.nodeShard[node]]
+	return func(from topology.NodeID, p topology.Port, v flow.VCID, fl flow.Flit, now int64) {
+		l := links[p]
+		if !l.ok {
+			panic(fmt.Sprintf("network: node %d sent worm out port %d with no link", node, p))
+		}
+		at := now + 1 + int64(n.cfg.LinkDelay)
+		e := flitEvent{node: l.node, port: l.port, vc: v, fl: fl, worm: true}
+		if d := n.nodeShard[l.node]; int(d) == src.idx {
+			src.flits.schedule(at, e)
+		} else {
+			src.outFlits[d] = append(src.outFlits[d], timedFlit{at: at, e: e})
+		}
+	}
+}
+
+// creditNFunc is creditFunc's batched sibling: count credits return in one
+// event, due when a worm transit's tail would have cleared the downstream
+// crossbar.
+func (n *Network) creditNFunc(node topology.NodeID) router.CreditNFunc {
+	links := n.links[int(node)*n.ports : (int(node)+1)*n.ports]
+	src := n.shards[n.nodeShard[node]]
+	return func(from topology.NodeID, p topology.Port, v flow.VCID, count int, now int64) {
+		at := now + 1 + int64(n.cfg.LinkDelay)
+		if p == topology.PortLocal {
+			src.credits.schedule(at, creditEvent{kind: creditToNI, node: node, vc: v, n: int32(count)})
+			return
+		}
+		l := links[p]
+		if !l.ok {
+			panic(fmt.Sprintf("network: batched credit out port %d with no link", p))
+		}
+		e := creditEvent{node: l.node, port: l.port, vc: v, n: int32(count)}
+		if d := n.nodeShard[l.node]; int(d) == src.idx {
+			src.credits.schedule(at, e)
+		} else {
+			src.outCredits[d] = append(src.outCredits[d], timedCredit{at: at, e: e})
+		}
+	}
+}
+
+// releaseFunc schedules an event-mode VC release on the router's own
+// shard: a worm transit frees its claimed output VC the cycle after its
+// tail leaves the output stage. Releases are always intra-shard (a router
+// releases its own VC), so they never ride a mailbox.
+func (n *Network) releaseFunc(node topology.NodeID) router.ReleaseFunc {
+	src := n.shards[n.nodeShard[node]]
+	return func(p topology.Port, v flow.VCID, at int64) {
+		src.credits.schedule(at, creditEvent{kind: creditRelease, node: node, port: p, vc: v})
 	}
 }
 

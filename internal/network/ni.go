@@ -160,6 +160,35 @@ func (x *ni) tick(now int64) {
 		}
 	}
 
+	// Event-mode whole-message emission: when exactly one message is being
+	// injected, it is still at its head, and the NI holds credits for its
+	// entire length, it leaves as a single worm event instead of one flit
+	// per cycle. The cadence on the injection wire is identical — flits at
+	// link rate starting next cycle — it is just not replayed event by
+	// event unless the source router has to unpack the worm. A second
+	// bound stream (or a stream already mid-message) falls back to
+	// per-flit injection, preserving the cycle path's round-robin
+	// interleave.
+	if x.net.cfg.EventMode {
+		if v := x.soleFreshStream(); v >= 0 && x.credits[v] >= x.streams[v].msg.Length && x.wormWindowClear(now, x.streams[v].msg.Length) {
+			s := &x.streams[v]
+			msg := s.msg
+			msg.InjectTime = now
+			if x.net.cfg.Router.LookAhead {
+				msg.Route = x.r.Table().Lookup(msg.Dst, 0)
+			}
+			fl := flow.Flit{Msg: msg, Type: flow.TypeFor(0, msg.Length)}
+			x.sh.flits.schedule(now+1, flitEvent{node: x.node, port: topology.PortLocal, vc: flow.VCID(v), fl: fl, worm: true})
+			x.credits[v] -= msg.Length
+			*s = stream{}
+			x.rr = v + 1
+			if x.rr == len(x.streams) {
+				x.rr = 0
+			}
+			return
+		}
+	}
+
 	// Inject one flit, round-robin over active streams with credit.
 	nv := len(x.streams)
 	for off := 0; off < nv; off++ {
@@ -199,9 +228,36 @@ func (x *ni) tick(now int64) {
 	}
 }
 
-// acceptCredit returns one injection-buffer slot for VC v.
-func (x *ni) acceptCredit(v flow.VCID) {
-	x.credits[v]++
+// wormWindowClear reports whether the traffic process stays quiet for the
+// length cycles a worm's flits would occupy the injection wire. A message
+// generated inside that window would, in cycle mode, round-robin its flits
+// with the worm's on the one-flit-wide wire — an interleave a worm cannot
+// replay — so such messages keep the per-flit path and its exact cadence.
+func (x *ni) wormWindowClear(now int64, length int) bool {
+	at, ok := x.nextWake()
+	return !ok || at >= now+int64(length)
+}
+
+// soleFreshStream returns the VC of the only active injection stream if
+// there is exactly one and it has not started serializing (seq 0), else -1.
+func (x *ni) soleFreshStream() int {
+	v := -1
+	for i := range x.streams {
+		if x.streams[i].msg == nil {
+			continue
+		}
+		if v >= 0 || x.streams[i].seq != 0 {
+			return -1
+		}
+		v = i
+	}
+	return v
+}
+
+// acceptCredit returns n injection-buffer slots for VC v (n > 1 when a
+// worm transit frees its whole admission window at once).
+func (x *ni) acceptCredit(v flow.VCID, n int) {
+	x.credits[v] += n
 }
 
 // deliver consumes an ejected flit; the tail completes the message. The

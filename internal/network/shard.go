@@ -124,19 +124,80 @@ func (n *Network) stepShard(sh *shard, now int64) {
 	}
 
 	for _, e := range sh.credits.take(now) {
-		if e.toNI {
-			n.nis[e.node].acceptCredit(e.vc)
-		} else {
-			n.routers[e.node].AcceptCredit(e.port, e.vc)
+		switch e.kind {
+		case creditToRouter:
+			n.routers[e.node].AcceptCredits(e.port, e.vc, int(e.n))
+		case creditToNI:
+			n.nis[e.node].acceptCredit(e.vc, int(e.n))
+		default:
+			n.routers[e.node].ReleaseExpress(e.port, e.vc)
 		}
 	}
 	evs := sh.flits.take(now)
-	for i := range evs {
-		e := &evs[i]
-		n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
-		sh.totalOcc++
-		n.lastOcc[e.node]++
-		sh.actRouters.add(int(e.node) - sh.lo)
+	if n.cfg.EventMode {
+		for i := range evs {
+			e := &evs[i]
+			if e.worm {
+				// A worm event is an entire message crossing the wire
+				// behind its head flit. A router that cannot absorb it in
+				// O(1) unpacks it instead: the head latches now and the
+				// trailing flits land at link rate — exactly the cadence
+				// their per-flit events would have had — on the unchanged
+				// cycle-accurate path.
+				if n.routers[e.node].EventWorm(e.port, e.vc, e.fl, now) {
+					continue
+				}
+				msg := e.fl.Msg
+				if e.port == topology.PortLocal {
+					// A worm refused at its own source router goes back to
+					// the NI as a partially-serialized stream rather than as
+					// pre-scheduled trailing events. The NI frees an
+					// injection VC only at the tail, so the next message
+					// cannot overtake these flits on the same VC — which it
+					// could if they sat in the wheel while per-flit credits
+					// trickled back. The cadence is unchanged: the NI's next
+					// tick (later this same cycle) sends seq 1 for now+1.
+					// A single-flit worm is its own head; there is nothing
+					// left to serialize.
+					if msg.Length > 1 {
+						x := n.nis[e.node]
+						x.streams[e.vc] = stream{msg: msg, seq: 1}
+						x.credits[e.vc] += msg.Length - 1
+						sh.totalQueued++
+						sh.actNIs.add(int(e.node) - sh.lo)
+					}
+				} else {
+					for s := 1; s < msg.Length; s++ {
+						sh.flits.schedule(now+int64(s), flitEvent{
+							node: e.node, port: e.port, vc: e.vc,
+							fl: flow.Flit{Msg: msg, Seq: int32(s), Type: flow.TypeFor(s, msg.Length)},
+						})
+					}
+				}
+				n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
+				sh.totalOcc++
+				n.lastOcc[e.node]++
+				sh.actRouters.add(int(e.node) - sh.lo)
+				continue
+			}
+			// An express-absorbed flit never occupies a buffer and the
+			// router needs no Tick for it: skip the occupancy and
+			// active-set bookkeeping entirely.
+			if n.routers[e.node].EventFlit(e.port, e.vc, e.fl, now) {
+				continue
+			}
+			sh.totalOcc++
+			n.lastOcc[e.node]++
+			sh.actRouters.add(int(e.node) - sh.lo)
+		}
+	} else {
+		for i := range evs {
+			e := &evs[i]
+			n.routers[e.node].EnqueueFlit(e.port, e.vc, e.fl, now)
+			sh.totalOcc++
+			n.lastOcc[e.node]++
+			sh.actRouters.add(int(e.node) - sh.lo)
+		}
 	}
 
 	sh.actNIs.forEach(func(local int32) bool {

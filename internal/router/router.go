@@ -88,6 +88,22 @@ type SendFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, fl fl
 // on (port, vc). For the local port the credit goes to the node's NI.
 type CreditFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, now int64)
 
+// WormSendFunc transmits an entire express worm onto the link leaving
+// through port as a single event: fl is the head flit and the remaining
+// flits of fl.Msg follow at link rate (one per cycle) behind it. now is
+// the cycle the head leaves the output stage. Event mode only.
+type WormSendFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, fl flow.Flit, now int64)
+
+// CreditNFunc returns count credits upstream for (port, vc) in one event
+// due at cycle now — the batched equivalent of count CreditFunc calls.
+// Event mode only.
+type CreditNFunc func(from topology.NodeID, port topology.Port, vc flow.VCID, count int, now int64)
+
+// ReleaseFunc schedules the release of the output VC a worm transit
+// claimed, at cycle at (the cycle after its tail leaves the output stage).
+// The fabric must call ReleaseExpress exactly then. Event mode only.
+type ReleaseFunc func(port topology.Port, vc flow.VCID, at int64)
+
 // DeliverFunc hands an ejected flit to the local network interface.
 type DeliverFunc func(fl flow.Flit, now int64)
 
@@ -103,7 +119,19 @@ const (
 	phaseWaitSA
 	// phaseActive: the worm holds an output VC; flits stream.
 	phaseActive
+	// phaseExpress: the worm transits this router on the event-driven
+	// express path (see EventFlit): every flit is forwarded the moment its
+	// arrival event fires, with send and credit times computed from the
+	// pipeline constants instead of emulated stage by stage. Express flits
+	// never enter the input buffer, so the VC holds no storage while in
+	// this phase.
+	phaseExpress
 )
+
+// expressOwner marks an output VC claimed by an express worm. It must be
+// non-negative (freeVC treats owner < 0 as free) and distinct from every
+// real input-VC index (those are < 64, bounded by the work masks).
+const expressOwner int32 = 1 << 30
 
 // inputVC is the state of one input virtual channel.
 type inputVC struct {
@@ -177,6 +205,24 @@ type Router struct {
 
 	// occupancy tracks buffered flits for quiescence checks.
 	occupancy int
+	// expressOut counts, per output port, the per-flit express worms
+	// currently streaming through it; [linkBusyFrom, linkBusyUntil] is the
+	// send-cycle window an admitted express transit (worm event or
+	// per-flit) has reserved the port's link for. Together they serialize
+	// express transits per physical channel: admission requires the
+	// candidate port to be free of both, so two express worms never
+	// overdrive one link, while worms bound for different ports of the
+	// same router transit concurrently. Buffered traffic stalls in the
+	// output stage during the reserved window (stageOUT), so express and
+	// pipelined flits share a wire at one flit per cycle either way.
+	expressOut    []int8
+	linkBusyFrom  []int64
+	linkBusyUntil []int64
+
+	// Event-mode callbacks (SetEventFabric); nil on the cycle path.
+	sendWorm WormSendFunc
+	creditN  CreditNFunc
+	release  ReleaseFunc
 }
 
 // New constructs a router for node id, programmed with the given table and
@@ -228,6 +274,13 @@ func New(id topology.NodeID, m *topology.Mesh, cfg Config, tbl table.Table, sel 
 	for p := range r.meta {
 		r.meta[p].lastUsed = -1
 	}
+	r.expressOut = make([]int8, np)
+	r.linkBusyFrom = make([]int64, np)
+	r.linkBusyUntil = make([]int64, np)
+	for p := range r.linkBusyUntil {
+		r.linkBusyFrom[p] = -1
+		r.linkBusyUntil[p] = -1
+	}
 	r.portOf = make([]int8, len(r.in))
 	r.vcBase = make([]int16, len(r.in))
 	for i := range r.in {
@@ -240,6 +293,13 @@ func New(id topology.NodeID, m *topology.Mesh, cfg Config, tbl table.Table, sel 
 // SetFabric wires the router's outbound callbacks.
 func (r *Router) SetFabric(send SendFunc, credit CreditFunc, deliver DeliverFunc) {
 	r.send, r.credit, r.deliver = send, credit, deliver
+}
+
+// SetEventFabric wires the event-mode callbacks (worm sends, batched
+// credits, deferred VC releases). Only networks running in event mode set
+// these; the cycle-accurate path never calls them.
+func (r *Router) SetEventFabric(sendWorm WormSendFunc, creditN CreditNFunc, release ReleaseFunc) {
+	r.sendWorm, r.creditN, r.release = sendWorm, creditN, release
 }
 
 // ID returns the router's node.
@@ -286,10 +346,293 @@ func (r *Router) startHeader(idx int, ivc *inputVC, fl flow.Flit, now int64) {
 	ivc.readyAt = now + 1
 }
 
+// EventFlit is the event-driven arrival entry point (network event mode).
+// It reports whether the flit was absorbed by the express path — forwarded
+// (or delivered) immediately with send and credit times computed from the
+// pipeline's timing constants — in which case the flit never enters an
+// input buffer and the caller must not count it toward occupancy. When the
+// express path cannot take the flit it falls back to EnqueueFlit and
+// returns false; the fallback is byte-for-byte the cycle-accurate path, so
+// a router carrying any buffered traffic behaves exactly as in cycle mode.
+//
+// Express admission (expressAdmit) requires a router with empty buffers,
+// an output VC free for the whole message's credit window, an output link
+// free of other express transits, and the same eligibility rules as the
+// SA stage — including the escape-commit discipline — so an express hop
+// makes the same routing decision the pipelined hop would have made from
+// an empty router. The per-flit timing is exact for an uncontended
+// transit (see expressForward); once admitted the full credit window is
+// reserved and the output link serialized, so an express worm never
+// stalls mid-transit.
+func (r *Router) EventFlit(p topology.Port, v flow.VCID, fl flow.Flit, now int64) bool {
+	idx := r.inIdx(p, v)
+	ivc := &r.in[idx]
+	if ivc.phase == phaseExpress {
+		// Body/tail of a worm already admitted: per-VC worm serialization
+		// guarantees no head arrives before the previous tail released the
+		// phase.
+		r.expressForward(idx, ivc, fl, now)
+		return true
+	}
+	if fl.Type.IsHead() && ivc.phase == phaseIdle && r.occupancy == 0 &&
+		r.tryExpress(ivc, fl.Msg, now) {
+		r.expressForward(idx, ivc, fl, now)
+		return true
+	}
+	r.EnqueueFlit(p, v, fl, now)
+	return false
+}
+
+// EventWorm is the arrival of an entire express worm as one event (network
+// event mode): the head flit fl latches at cycle now and the remaining
+// flits of fl.Msg follow at link rate behind it on the same wire. If this
+// router can admit the worm onto an express output — the same rules as the
+// per-flit path — it forwards the whole worm in O(1): one worm event to
+// the next hop (or one local delivery of the tail), one batched upstream
+// credit at the cycle the tail would have cleared the crossbar, and one
+// deferred release of the claimed output VC the cycle after the tail
+// leaves the output stage. It reports false when the worm must be
+// unpacked into per-flit events instead: the caller enqueues the head and
+// schedules the trailing flits at their wire cadence, landing on the
+// unchanged cycle-accurate path. Unpacking cannot overflow the input
+// buffer: the upstream sender held credits for the whole message before
+// emitting the worm.
+func (r *Router) EventWorm(p topology.Port, v flow.VCID, fl flow.Flit, now int64) bool {
+	if r.occupancy != 0 {
+		return false
+	}
+	msg := fl.Msg
+	cl, ok := r.expressAdmit(msg, now)
+	if !ok {
+		return false
+	}
+	offC, offS := int64(2), int64(3)
+	if !r.cfg.LookAhead {
+		offC, offS = 3, 4
+	}
+	L := int64(msg.Length)
+	// The L input-buffer slots the upstream sender debited were never
+	// filled; they all free when the tail would have cleared the crossbar.
+	r.creditN(r.id, p, v, int(L), now+L-1+offC)
+	ovc := &r.out[cl.idx]
+	op := int(cl.port)
+	r.meta[op].useCount += uint64(L)
+	r.meta[op].lastUsed = now + L - 1 + offS
+	if op == int(topology.PortLocal) {
+		// Whole-message ejection: the tail reaches the NI at the cycle the
+		// pipeline would have delivered it. The local sink needs no link
+		// and no credits, so the claimed VC releases immediately.
+		tail := flow.Flit{Msg: msg, Seq: int32(L - 1), Type: flow.TypeFor(int(L-1), msg.Length)}
+		ovc.owner = -1
+		r.meta[op].busyVCs--
+		r.deliver(tail, now+L-1+offS)
+		return true
+	}
+	ovc.credits -= int(L)
+	msg.Hops++
+	if r.linkBusyUntil[op] < now {
+		// Fresh window; otherwise merge with the still-draining previous
+		// reservation so no cycle of it unblocks early.
+		r.linkBusyFrom[op] = now + offS
+	}
+	r.linkBusyUntil[op] = now + L - 1 + offS
+	r.sendWorm(r.id, cl.port, cl.vc, fl, now+offS)
+	r.release(cl.port, cl.vc, now+L-1+offS+1)
+	return true
+}
+
+// ReleaseExpress frees the output VC a worm transit claimed, at the cycle
+// EventWorm scheduled (the tail has left the output stage; the credits the
+// worm consumed return separately from downstream).
+func (r *Router) ReleaseExpress(p topology.Port, v flow.VCID) {
+	ovc := &r.out[r.inIdx(p, v)]
+	if ovc.owner != expressOwner {
+		panic(fmt.Sprintf("router %d: express release of port %d vc %d not owned by an express transit", r.id, p, v))
+	}
+	ovc.owner = -1
+	r.meta[p].busyVCs--
+}
+
+// expressClaim is the result of a successful express admission: the output
+// VC claimed (with the expressOwner sentinel) for a whole-message transit.
+type expressClaim struct {
+	port topology.Port
+	vc   flow.VCID
+	idx  int32
+}
+
+// expressAdmit is the shared admission check of both express forms (the
+// per-flit path behind EventFlit and the worm events of EventWorm): the SA
+// stage's eligibility rules evaluated at arrival time, with two extra
+// requirements — the output VC must hold credits for the entire message
+// (the cut-through admission window), so the admitted worm can stream at
+// link rate without ever stalling on flow control, and the output port's
+// link must be free of other express transits (expressPortFree). On
+// success the output VC is claimed and the outgoing header fields
+// (dateline, escape commitment, look-ahead route) are computed exactly as
+// tryAllocate would; on failure the message is untouched.
+func (r *Router) expressAdmit(msg *flow.Message, now int64) (expressClaim, bool) {
+	rs := msg.Route
+	if !r.cfg.LookAhead {
+		rs = r.tbl.Lookup(msg.Dst, msg.Dateline)
+	}
+	needCredits := int(msg.Length)
+	if needCredits > r.cfg.BufDepth {
+		// The full window cannot exist (wormhole with long messages):
+		// express never applies, the pipeline handles the worm.
+		return expressClaim{}, false
+	}
+	offS := int64(3)
+	if !r.cfg.LookAhead {
+		offS = 4
+	}
+	firstSend := now + offS
+	committed := r.cfg.EscapeCommit && msg.EscapeCommitted
+	var eligible uint8
+	for i := 0; !committed && i < rs.Len(); i++ {
+		c := rs.At(i)
+		if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, c.Adaptive, needCredits) >= 0 {
+			eligible |= 1 << i
+		}
+	}
+	escape := false
+	if eligible == 0 {
+		for i := 0; i < rs.Len(); i++ {
+			c := rs.At(i)
+			if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, c.Escape, needCredits) >= 0 {
+				eligible |= 1 << i
+			}
+		}
+		escape = true
+	}
+	if eligible == 0 {
+		return expressClaim{}, false
+	}
+	choice := 0
+	if rs.Len() > 1 {
+		choice = r.sel.Select(r, rs, eligible)
+		if eligible&(1<<choice) == 0 {
+			panic("router: selector returned ineligible candidate")
+		}
+	} else if eligible&1 == 0 {
+		panic("router: single candidate not eligible")
+	}
+	cand := rs.At(choice)
+	mask := cand.Adaptive
+	if escape {
+		mask = cand.Escape
+	}
+	v := r.claimVC(cand.Port, mask, needCredits, expressOwner)
+	if escape && r.cfg.EscapeCommit {
+		msg.EscapeCommitted = true
+	}
+	if cand.Port != topology.PortLocal {
+		next := msg.Dateline
+		if r.wrap {
+			next = nextDatelineBit(r.mesh, r.id, cand.Port, next)
+		}
+		msg.Dateline = next
+		if r.cfg.LookAhead {
+			msg.Route = r.tbl.LookupAt(cand.Port, msg.Dst, next)
+		}
+	}
+	return expressClaim{port: cand.Port, vc: v, idx: int32(r.inIdx(cand.Port, v))}, true
+}
+
+// expressPortFree reports whether an express transit whose first flit
+// leaves the output stage at cycle firstSend may use port p: no per-flit
+// express worm is streaming through it and any prior express reservation
+// of the link has drained. The local port has no link to serialize.
+func (r *Router) expressPortFree(p topology.Port, firstSend int64) bool {
+	if p == topology.PortLocal {
+		return true
+	}
+	return r.expressOut[p] == 0 && firstSend > r.linkBusyUntil[p]
+}
+
+// tryExpress admits one arriving head flit to the per-flit express path:
+// on success the input VC enters phaseExpress and every flit of the worm
+// is forwarded by expressForward the moment its arrival event fires.
+func (r *Router) tryExpress(ivc *inputVC, msg *flow.Message, now int64) bool {
+	cl, ok := r.expressAdmit(msg, now)
+	if !ok {
+		return false
+	}
+	ivc.outPort = cl.port
+	ivc.outVC = cl.vc
+	ivc.outIdx = cl.idx
+	ivc.phase = phaseExpress
+	if cl.port != topology.PortLocal {
+		r.expressOut[cl.port]++
+	}
+	return true
+}
+
+// expressForward transits one flit of an admitted express worm, issuing
+// its upstream credit and downstream send (or local delivery) at the exact
+// cycles the pipeline would have: for a flit latched at cycle t into an
+// otherwise-empty LA-PROUD router, the crossbar frees its buffer slot at
+// t+2 and the output stage puts it on the link at t+3 (PROUD pays one more
+// cycle for the table-lookup stage: t+3 and t+4). Tail flits return the
+// input VC to phaseIdle and schedule the output VC's release for the cycle
+// after the tail leaves the output stage, ending the express transit.
+func (r *Router) expressForward(idx int, ivc *inputVC, fl flow.Flit, now int64) {
+	offC, offS := int64(2), int64(3)
+	if !r.cfg.LookAhead {
+		offC, offS = 3, 4
+	}
+	// The buffer slot the upstream sender debited was never filled, but
+	// the credit protocol is unchanged: the slot frees when the crossbar
+	// would have drained it.
+	r.credit(r.id, topology.Port(r.portOf[idx]), flow.VCID(idx-int(r.vcBase[idx])), now+offC)
+	ovc := &r.out[ivc.outIdx]
+	p := int(ivc.outPort)
+	r.meta[p].useCount++
+	r.meta[p].lastUsed = now + offS
+	if p == int(topology.PortLocal) {
+		r.deliver(fl, now+offS)
+	} else {
+		ovc.credits--
+		if fl.Type.IsHead() {
+			fl.Msg.Hops++
+		}
+		if t := now + offS; t > r.linkBusyUntil[p] {
+			if r.linkBusyUntil[p] < now {
+				r.linkBusyFrom[p] = t
+			}
+			r.linkBusyUntil[p] = t
+		}
+		r.send(r.id, ivc.outPort, ivc.outVC, fl, now+offS)
+	}
+	if fl.Type.IsTail() {
+		ivc.phase = phaseIdle
+		ivc.route = flow.RouteSet{}
+		if p != int(topology.PortLocal) {
+			r.expressOut[p]--
+			// The tail is still upstream of the output stage until now+offS.
+			// Releasing the VC here would let a buffered message win it in
+			// SA and put a flit on the link before the tail, arriving out of
+			// order downstream; hold the claim until the tail has left, as
+			// EventWorm does.
+			r.release(ivc.outPort, ivc.outVC, now+offS+1)
+		} else {
+			ovc.owner = -1
+			r.meta[p].busyVCs--
+		}
+	}
+}
+
 // AcceptCredit returns one credit to output (port, vc).
 func (r *Router) AcceptCredit(p topology.Port, v flow.VCID) {
+	r.AcceptCredits(p, v, 1)
+}
+
+// AcceptCredits returns count credits to output (port, vc) in one call —
+// the batched form event mode's worm transits use (a whole admission
+// window frees at once when the downstream tail clears its crossbar).
+func (r *Router) AcceptCredits(p topology.Port, v flow.VCID, count int) {
 	ovc := &r.out[r.inIdx(p, v)]
-	ovc.credits++
+	ovc.credits += count
 	if ovc.credits > r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: credit overflow on port %d vc %d", r.id, p, v))
 	}
@@ -584,6 +927,16 @@ func (r *Router) stageOUT(now int64) {
 		base := int(r.vcBase[lowest])
 		p := int(r.portOf[lowest])
 		group := (uint64(1)<<r.cfg.NumVCs - 1) << base
+		if r.linkBusyFrom[p] <= now && now <= r.linkBusyUntil[p] && (now-r.linkBusyFrom[p])&1 == 0 {
+			// An express worm is streaming on this wire (event mode; the
+			// window is never set in cycle mode). Had the worm been
+			// pipelined, the output mux would round-robin it against the
+			// buffered contenders, halving both rates; the worm's events are
+			// already committed, so approximate the shared wire by yielding
+			// it to buffered traffic every other cycle.
+			bm &^= group
+			continue
+		}
 		var reqs uint64
 		for m := bm & group; m != 0; m &= m - 1 {
 			j := bits.TrailingZeros64(m)
