@@ -87,6 +87,12 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression per entry for -compare (0.25 = 25%)")
 	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline entries the current run no longer measures (intentional bench removals)")
 	flag.Parse()
+	if *minTime < 0 {
+		fatal(fmt.Errorf("-mintime %s: measurement time must not be negative", *minTime))
+	}
+	if *tolerance < 0 {
+		fatal(fmt.Errorf("-tolerance %g: allowed regression fraction must not be negative", *tolerance))
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}

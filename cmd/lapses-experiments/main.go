@@ -7,6 +7,15 @@
 //	lapses-experiments -exp fig5 -fidelity auto    # adaptive measurement
 //	lapses-experiments -exp all -workers 16        # widen the sweep pool
 //	lapses-experiments -exp fig6 -csv out -reps 5  # error bars over 5 seeds
+//	lapses-experiments -exp fig5 -server http://host:8347  # run via lapses-serve
+//
+// -server routes every grid point (figure sweeps and saturation-search
+// probes alike) through a lapses-serve instance instead of simulating
+// in-process: points the server's content-addressed store has already
+// seen — from any client, ever — are served from disk, and a sweep
+// interrupted by a server crash resumes from the store on resubmission.
+// One summary line per job ("[serve job ...]") reports the store-hit
+// split.
 //
 // -fidelity auto runs every point on the adaptive measurement tier
 // (MSER-5 warmup truncation + CI-based early stopping; see README
@@ -33,12 +42,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"time"
 
 	"lapses/internal/experiments"
+	"lapses/internal/serve"
 	"lapses/internal/sweep"
 )
 
@@ -47,12 +58,20 @@ func main() {
 	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper, or auto (adaptive measurement)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "row-band shards stepping each run in parallel (results are bit-identical for any count)")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for plottable experiments")
 	reps := flag.Int("reps", 1, "replications per experiment under derived seeds; CSVs gain mean/stderr columns")
 	events := flag.Bool("events", false, "run every point on the event-driven kernel (statistically equivalent, several times faster, not bit-comparable to cycle mode)")
+	server := flag.String("server", "", "execute grids via a lapses-serve instance at this URL instead of in-process")
 	flag.Parse()
 	if *reps < 1 {
-		fatal(fmt.Errorf("-reps %d < 1", *reps))
+		fatal(fmt.Errorf("-reps %d: replication count must be at least 1", *reps))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d: worker count must be at least 0 (0 = GOMAXPROCS)", *workers))
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards %d: shard count must be at least 1", *shards))
 	}
 
 	f, err := experiments.ParseFidelity(*fidelity)
@@ -66,8 +85,21 @@ func main() {
 		Fidelity:  f,
 		Seed:      *seed,
 		Workers:   *workers,
+		Shards:    *shards,
 		Cache:     sweep.NewCache(),
 		EventMode: *events,
+	}
+	var client *serve.Client
+	if *server != "" {
+		u, err := url.Parse(*server)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			fatal(fmt.Errorf("-server %q: must be an http(s) URL like http://host:8347", *server))
+		}
+		client = &serve.Client{Base: *server, Verbose: os.Stdout}
+		if err := client.Health(ctx); err != nil {
+			fatal(fmt.Errorf("-server %s is not reachable or not healthy: %w", *server, err))
+		}
+		runner.Exec = client.Run
 	}
 	names := []string{*exp}
 	if *exp == "all" {
@@ -86,12 +118,16 @@ func main() {
 			}
 			// The CSV pass replays the grid out of the shared cache; with
 			// -reps it adds replications under derived seeds (rep 0 is
-			// the grid already simulated, so it stays cached).
+			// the grid already simulated, so it stays cached). A failed
+			// write removes the file: a partial CSV that parses is worse
+			// than no CSV.
 			if err := runner.WriteCSVReps(ctx, file, name, *reps); err != nil {
 				file.Close()
+				os.Remove(path)
 				fatal(err)
 			}
 			if err := file.Close(); err != nil {
+				os.Remove(path)
 				fatal(err)
 			}
 			fmt.Printf("[csv written to %s]\n", path)
@@ -100,6 +136,12 @@ func main() {
 	}
 	if h, m := runner.Cache.Hits(), runner.Cache.Misses(); h > 0 {
 		fmt.Printf("[memo cache: %d simulated, %d reused]\n", m, h)
+	}
+	if client != nil {
+		if st, err := client.StoreStats(ctx); err == nil {
+			fmt.Printf("[server store: %d entries, %d served, %d simulated, %d quarantined]\n",
+				st.Entries, st.Hits, st.Misses, st.Quarantined)
+		}
 	}
 }
 

@@ -1,0 +1,117 @@
+// Command lapses-serve runs the sweep engine as a fault-tolerant
+// service: it accepts experiment-grid jobs over HTTP/JSON, executes
+// them through the concurrent internal/sweep engine, and persists every
+// completed point to a crash-safe, content-addressed result store — so
+// overlapping grids submitted across processes, users and restarts cost
+// one simulation per unique point, ever.
+//
+//	lapses-serve -store /var/lib/lapses            # serve on :8347
+//	lapses-serve -addr :9000 -workers 8 -queue 4
+//	lapses-experiments -exp fig5 -server http://host:8347
+//
+// Robustness properties (see internal/serve for the mechanisms):
+//
+//   - Completed points are durable: atomic temp-file + rename writes,
+//     per-entry checksums, and a startup recovery scan that quarantines
+//     truncated or corrupt entries instead of serving them. Killing the
+//     process mid-grid (even kill -9) loses only in-flight points;
+//     resubmitting the job resumes from the store.
+//   - A panicking point fails that point, not the server.
+//   - Transient point failures retry with exponential backoff + jitter
+//     inside a bounded attempt budget.
+//   - The job queue is bounded: beyond -queue waiting jobs, submissions
+//     get 429 + Retry-After backpressure.
+//   - Per-job deadlines (-job-timeout or per-submission) cancel runaway
+//     grids at the next point boundary.
+//   - SIGINT/SIGTERM drains gracefully: in-flight points finish and
+//     persist, queued jobs are marked interrupted and resumable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lapses/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	storeDir := flag.String("store", "", "result-store directory (required); created if missing")
+	workers := flag.Int("workers", 0, "concurrent simulations per job (0 = GOMAXPROCS budgeted against sharding)")
+	queue := flag.Int("queue", 16, "max jobs waiting behind the running one before submissions get 429")
+	retries := flag.Int("retries", 3, "attempts per point for transient failures (1 disables retry)")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per retry, jittered, capped at 2s)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; submissions may set their own)")
+	flag.Parse()
+	if *storeDir == "" {
+		fatal(fmt.Errorf("-store is required: the directory completed results persist to"))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d: worker count must be at least 0 (0 = GOMAXPROCS)", *workers))
+	}
+	if *queue < 1 {
+		fatal(fmt.Errorf("-queue %d: job queue depth must be at least 1", *queue))
+	}
+	if *retries < 1 {
+		fatal(fmt.Errorf("-retries %d: attempt budget must be at least 1 (1 = no retry)", *retries))
+	}
+	if *backoff <= 0 {
+		fatal(fmt.Errorf("-backoff %s: base backoff must be positive", *backoff))
+	}
+	if *jobTimeout < 0 {
+		fatal(fmt.Errorf("-job-timeout %s: deadline must not be negative", *jobTimeout))
+	}
+
+	store, err := serve.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	st := store.Stats()
+	log.Printf("store %s: %d entries recovered, %d quarantined", *storeDir, st.Entries, st.Quarantined)
+
+	srv := serve.NewServer(store, serve.ServerOptions{
+		Workers:    *workers,
+		QueueLimit: *queue,
+		Retry:      serve.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *backoff},
+		JobTimeout: *jobTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("draining: in-flight points finish, queued jobs are marked resumable")
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fatal(err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	st = store.Stats()
+	log.Printf("drained cleanly: %d entries durable, %d simulated this run, %d served from store", st.Entries, st.Misses, st.Hits)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lapses-serve:", err)
+	os.Exit(2)
+}

@@ -89,7 +89,7 @@ func main() {
 	if cfg.Algorithm, err = core.ParseAlg(*alg); err != nil {
 		fatal(err)
 	}
-	if cfg.Table, err = parseTable(*tbl); err != nil {
+	if cfg.Table, err = table.ParseKind(*tbl); err != nil {
 		fatal(err)
 	}
 	if cfg.Selection, err = selection.ParseKind(*sel); err != nil {
@@ -198,15 +198,6 @@ func parseDims(s string) ([]int, error) {
 		dims = append(dims, v)
 	}
 	return dims, nil
-}
-
-func parseTable(s string) (table.Kind, error) {
-	for _, k := range []table.Kind{table.KindFull, table.KindES, table.KindMetaRow, table.KindMetaBlock, table.KindInterval} {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown table kind %q", s)
 }
 
 func fatal(err error) {

@@ -88,4 +88,19 @@
 // goldens and bit-equivalence suites stay on the cycle kernel. Use
 // -events for sweeps and experiments; use the default cycle kernel
 // whenever bits matter. See README.md "Execution modes".
+//
+// internal/serve turns the sweep engine into a fault-tolerant service
+// (cmd/lapses-serve): grid jobs arrive over HTTP/JSON, execute through
+// sweep.Run, and every completed point persists to a crash-safe,
+// content-addressed store keyed by Config.Key — atomic temp-file+rename
+// writes, per-entry checksums, and a startup recovery scan that
+// quarantines corrupt entries rather than serving them, so a kill -9
+// loses only in-flight points and resubmitted jobs resume from disk.
+// Points are panic-isolated, transient failures retry under a jittered
+// backoff budget, the job queue applies 429 backpressure, and SIGTERM
+// drains in-flight points before exit. serve.Client.Run satisfies
+// sweep.RunFunc, which experiments.Runner.Exec and sweep.Options.Exec
+// accept — lapses-experiments -server routes every grid and
+// saturation-search probe through a server byte-identically to the
+// in-process path. See README.md "Service mode".
 package lapses

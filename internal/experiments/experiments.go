@@ -91,13 +91,30 @@ type Runner struct {
 	// shared Cache never mixes the two).
 	EventMode bool
 
+	// Shards steps every point's simulation in row-band shards (results
+	// are bit-identical for any count; see core.Config.Shards). <= 1
+	// runs unsharded.
+	Shards int
+
+	// Exec, when non-nil, replaces in-process sweep.Run as the grid
+	// executor — the lapses-serve client's Run plugs in here, routing
+	// every experiment point (grids and saturation probes alike)
+	// through a server's durable store.
+	Exec sweep.RunFunc
+
 	// run replaces core.Run in tests of the grid plumbing; nil means the
 	// real simulator.
 	run func(core.Config) (core.Result, error)
 }
 
 func (r Runner) opts() sweep.Options {
-	return sweep.Options{Workers: r.Workers, Cache: r.Cache, Runner: r.run}
+	o := sweep.Options{Workers: r.Workers, Runner: r.run, Exec: r.Exec}
+	// Assign the cache only when present: a typed-nil *sweep.Cache in
+	// the Cacher interface would read as "cache configured".
+	if r.Cache != nil {
+		o.Cache = r.Cache
+	}
+	return o
 }
 
 // base returns the shared 16x16 configuration (Table 2) used by all
@@ -107,6 +124,9 @@ func (r Runner) base() core.Config {
 	c.Selection = selection.StaticXY
 	c.Seed = r.Seed
 	c.EventMode = r.EventMode
+	if r.Shards > 1 {
+		c.Shards = r.Shards
+	}
 	return r.Fidelity.apply(c)
 }
 
@@ -122,17 +142,24 @@ func (g *grid) add(c core.Config, sink func(core.Result)) {
 	g.sinks = append(g.sinks, sink)
 }
 
-// run sweeps the grid and scatters results in grid order. The first point
-// error aborts (a config error means the harness built a bad grid).
+// run sweeps the grid — through opt.Exec when set, so a remote backend
+// serves the points — and scatters results in grid order. The first
+// point error aborts (a config error means the harness built a bad
+// grid), identified by its full config key so a failure in a thousand-
+// point sweep names the exact simulation that died.
 func (g *grid) run(ctx context.Context, opt sweep.Options) error {
-	outs, err := sweep.Run(ctx, g.cfgs, opt)
+	exec := sweep.Run
+	if opt.Exec != nil {
+		exec = opt.Exec
+	}
+	outs, err := exec(ctx, g.cfgs, opt)
 	if err != nil {
 		return err
 	}
 	for i, o := range outs {
 		if o.Err != nil {
 			c := g.cfgs[i]
-			return fmt.Errorf("experiments: point %d (%s load %.2f): %w", i, c.Pattern, c.Load, o.Err)
+			return fmt.Errorf("experiments: point %d (%s load %.2f, key %s): %w", i, c.Pattern, c.Load, c.Key(), o.Err)
 		}
 		g.sinks[i](o.Result)
 	}

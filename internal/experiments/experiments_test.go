@@ -9,6 +9,7 @@ import (
 
 	"lapses/internal/core"
 	"lapses/internal/selection"
+	"lapses/internal/sweep"
 	"lapses/internal/traffic"
 )
 
@@ -156,6 +157,36 @@ func TestPointErrorPropagates(t *testing.T) {
 	}
 	if _, err := r.Table4(context.Background()); !errors.Is(err, boom) {
 		t.Errorf("Table4 err = %v want boom", err)
+	}
+}
+
+// TestExecSeamRoutesGrids proves Runner.Exec replaces in-process
+// sweep.Run for every grid an experiment dispatches — the seam the
+// -server client mode plugs into — and that a delegating Exec is
+// output-identical to the in-process path.
+func TestExecSeamRoutesGrids(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"fig5", "table3", "fig6", "table4"} {
+		var direct bytes.Buffer
+		if err := fakeRunner().RunByName(context.Background(), &direct, name); err != nil {
+			t.Fatalf("%s in-process: %v", name, err)
+		}
+		calls := 0
+		r := fakeRunner()
+		r.Exec = func(ctx context.Context, grid []core.Config, opt sweep.Options) ([]sweep.Outcome, error) {
+			calls++
+			return sweep.Run(ctx, grid, opt)
+		}
+		var routed bytes.Buffer
+		if err := r.RunByName(context.Background(), &routed, name); err != nil {
+			t.Fatalf("%s via Exec: %v", name, err)
+		}
+		if calls == 0 {
+			t.Errorf("%s: Exec never invoked", name)
+		}
+		if routed.String() != direct.String() {
+			t.Errorf("%s: output differs between Exec and in-process runs", name)
+		}
 	}
 }
 

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// Client talks to a lapses-serve server. Its Run method satisfies
+// sweep.RunFunc, so plugging a Client into sweep.Options.Exec routes
+// every grid — experiment figures, bisection probes — through the
+// server and its durable store instead of simulating in-process.
+type Client struct {
+	// Base is the server URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the transport (nil: http.DefaultClient).
+	HTTP *http.Client
+	// PollInterval is the status-polling cadence while a job runs
+	// (default 150ms).
+	PollInterval time.Duration
+	// JobTimeout, when set, is sent as each job's deadline.
+	JobTimeout time.Duration
+	// Verbose, when non-nil, receives one summary line per completed
+	// job ("[serve job j000001: 88 points, 88 cached, 0 simulated,
+	// 0 failed]") — the store-hit evidence the CI smoke test greps.
+	Verbose io.Writer
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 150 * time.Millisecond
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil). Non-2xx responses are returned as *APIStatusError carrying
+// the server's error message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("serve client: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		json.NewDecoder(resp.Body).Decode(&ae)
+		if ae.Error == "" {
+			ae.Error = resp.Status
+		}
+		return &APIStatusError{Code: resp.StatusCode, Message: ae.Error, RetryAfter: retryAfter(resp)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve client: %s %s: decoding response: %w", method, path, err)
+	}
+	return nil
+}
+
+// APIStatusError is a non-2xx server response.
+type APIStatusError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration // from the Retry-After header, if any
+}
+
+func (e *APIStatusError) Error() string {
+	return fmt.Sprintf("serve client: server returned %d: %s", e.Code, e.Message)
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// Health checks the server is up and accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// StoreStats fetches the server's store counters.
+func (c *Client) StoreStats(ctx context.Context) (StoreStats, error) {
+	var st StoreStats
+	err := c.do(ctx, http.MethodGet, "/v1/store", nil, &st)
+	return st, err
+}
+
+// Submit sends one job and returns its accepted status. Backpressure
+// (429) is absorbed: the client waits the server's Retry-After (or 1s)
+// and resubmits until ctx expires.
+func (c *Client) Submit(ctx context.Context, points []Point) (JobStatus, error) {
+	req := jobRequest{Points: points, TimeoutMS: int64(c.JobTimeout / time.Millisecond)}
+	for {
+		var st JobStatus
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+		if err == nil {
+			return st, nil
+		}
+		ae, ok := err.(*APIStatusError)
+		if !ok || ae.Code != http.StatusTooManyRequests {
+			return JobStatus{}, err
+		}
+		wait := ae.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return JobStatus{}, fmt.Errorf("serve client: giving up on backpressured submit: %w", ctx.Err())
+		}
+	}
+}
+
+// Status fetches a job's progress.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Results fetches a terminal job's per-point outcomes.
+func (c *Client) Results(ctx context.Context, id string) (JobResults, error) {
+	var res JobResults
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil, &res)
+	return res, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires.
+// When ctx expires the job is cancelled server-side before returning,
+// so abandoned client contexts don't leave grids burning server cycles.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	t := time.NewTicker(c.poll())
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			c.Cancel(cctx, id)
+			cancel()
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Run executes grid on the server: serialize, submit (absorbing
+// backpressure), poll to completion, fetch results, and map them back
+// onto the original configs in order. It satisfies sweep.RunFunc — set
+// it as sweep.Options.Exec and every composite helper (experiment
+// grids, bisection probes) runs remotely, one simulation per unique
+// point ever, server-side.
+//
+// Per-point failures come back as Outcome.Err exactly as from
+// sweep.Run. Run itself errors when the job could not complete —
+// cancelled, interrupted by a server shutdown, or a transport failure.
+func (c *Client) Run(ctx context.Context, grid []core.Config, opt sweep.Options) ([]sweep.Outcome, error) {
+	points, err := PointsFromGrid(grid)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: %w", err)
+	}
+	st, err := c.Submit(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		return nil, err
+	}
+	res, err := c.Results(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	st = res.Status
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, "[serve job %s: %d points, %d cached, %d simulated, %d failed]\n",
+			st.ID, st.Total, st.Cached, st.Simulated, st.Failed)
+	}
+	if st.State == JobCancelled || st.State == JobInterrupted {
+		return nil, fmt.Errorf("serve client: job %s was %s (%d of %d points completed); completed points are stored — resubmit to resume", st.ID, st.State, st.Completed, st.Total)
+	}
+	if len(res.Outcomes) != len(grid) {
+		return nil, fmt.Errorf("serve client: job %s returned %d outcomes for %d points", st.ID, len(res.Outcomes), len(grid))
+	}
+	outs := make([]sweep.Outcome, len(grid))
+	for i, po := range res.Outcomes {
+		outs[i].Config = grid[i]
+		switch {
+		case po.Error != "":
+			outs[i].Err = fmt.Errorf("%s", po.Error)
+		case po.Result != nil:
+			outs[i].Result = *po.Result
+			outs[i].Cached = po.Cached
+		default:
+			outs[i].Err = fmt.Errorf("serve client: job %s point %d: no result and no error", st.ID, i)
+		}
+		if opt.OnPoint != nil {
+			opt.OnPoint(i, outs[i])
+		}
+	}
+	return outs, nil
+}

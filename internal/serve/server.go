@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// Job states. A job is terminal in done, failed, cancelled or
+// interrupted; interrupted means a shutdown drained it mid-grid —
+// completed points are durable in the store, so resubmitting the same
+// grid resumes where it left off.
+const (
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobDone        = "done"
+	JobFailed      = "failed"
+	JobCancelled   = "cancelled"
+	JobInterrupted = "interrupted"
+)
+
+// ServerOptions configure a Server.
+type ServerOptions struct {
+	// Workers is the sweep worker-pool width per job (<= 0: the sweep
+	// default, GOMAXPROCS budgeted against per-run sharding).
+	Workers int
+	// QueueLimit bounds how many jobs may wait behind the running one;
+	// submissions beyond it are refused with 429 and a Retry-After
+	// header rather than queued without bound (default 16).
+	QueueLimit int
+	// Retry bounds per-point transient-failure retries.
+	Retry RetryPolicy
+	// JobTimeout is the default per-job deadline applied when a
+	// submission does not carry its own (0: none).
+	JobTimeout time.Duration
+	// Runner replaces core.Run for every point — the test seam for
+	// scripted results, injected transient failures and blocking points.
+	Runner func(core.Config) (core.Result, error)
+}
+
+func (o ServerOptions) normalize() ServerOptions {
+	if o.QueueLimit < 1 {
+		o.QueueLimit = 16
+	}
+	return o
+}
+
+// job is one submitted grid and its lifecycle. All mutable fields are
+// guarded by the owning Server's mu.
+type job struct {
+	id      string
+	grid    []core.Config
+	points  []Point
+	timeout time.Duration
+
+	state     string
+	reason    string // terminal state a canceller chose before cancelling the ctx
+	cancel    context.CancelFunc
+	completed int
+	cached    int
+	simulated int
+	failed    int
+	retries   int
+	errMsg    string
+	outs      []sweep.Outcome
+}
+
+// Server executes grid jobs one at a time from a bounded queue, running
+// every point through sweep.Run with the Store as the cache layer, so
+// each unique point simulates once ever and completed points survive
+// crashes. See the package comment for the full robustness contract.
+type Server struct {
+	store *Store
+	opt   ServerOptions
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int64
+	queue    chan *job
+	closed   bool
+	draining chan struct{}
+	execDone chan struct{}
+}
+
+// NewServer starts a server executing jobs against store. Call Shutdown
+// to drain it.
+func NewServer(store *Store, opt ServerOptions) *Server {
+	s := &Server{
+		store:    store,
+		opt:      opt.normalize(),
+		jobs:     map[string]*job{},
+		draining: make(chan struct{}),
+		execDone: make(chan struct{}),
+	}
+	s.queue = make(chan *job, s.opt.QueueLimit)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/store", s.handleStore)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	go s.runExecutor()
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server gracefully: no new submissions are
+// accepted, the running job's in-flight points finish (no new points
+// start) and its durable writes complete, queued jobs are marked
+// interrupted, and the executor exits. Jobs cut short are resumable by
+// resubmission — their completed points are served from the store. ctx
+// bounds how long to wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.execDone
+		return nil
+	}
+	s.closed = true
+	close(s.draining)
+	// Stop the running job at the next point boundary.
+	for _, jb := range s.jobs {
+		if jb.state == JobRunning && jb.cancel != nil {
+			jb.reason = JobInterrupted
+			jb.cancel()
+		}
+	}
+	close(s.queue) // all submitters check closed under mu before sending
+	s.mu.Unlock()
+	select {
+	case <-s.execDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// runExecutor is the single job-execution loop.
+func (s *Server) runExecutor() {
+	defer close(s.execDone)
+	for jb := range s.queue {
+		s.execute(jb)
+	}
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(jb *job) {
+	s.mu.Lock()
+	if jb.state != JobQueued {
+		// Cancelled while queued.
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case <-s.draining:
+		jb.state = JobInterrupted
+		s.mu.Unlock()
+		return
+	default:
+	}
+	jctx, cancel := context.WithCancel(context.Background())
+	if jb.timeout > 0 {
+		jctx, cancel = context.WithTimeout(context.Background(), jb.timeout)
+	}
+	jb.state = JobRunning
+	jb.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	outs, runErr := sweep.Run(jctx, jb.grid, sweep.Options{
+		Workers: s.opt.Workers,
+		Cache:   s.store,
+		Runner:  s.retryRunner(jctx, jb),
+		OnPoint: func(i int, o sweep.Outcome) { s.notePoint(jb, o) },
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb.outs = outs
+	jb.cancel = nil
+	switch {
+	case runErr == nil && jb.failed == 0:
+		jb.state = JobDone
+	case runErr == nil:
+		jb.state = JobFailed
+		jb.errMsg = firstFailure(outs, jb.failed)
+	case jb.reason != "":
+		// A canceller (DELETE, or Shutdown) chose the terminal state
+		// before cancelling the context.
+		jb.state = jb.reason
+	case jctx.Err() == context.DeadlineExceeded:
+		jb.state = JobFailed
+		jb.errMsg = fmt.Sprintf("job deadline exceeded after %s (%d of %d points completed)", jb.timeout, jb.completed, len(jb.grid))
+	default:
+		jb.state = JobFailed
+		jb.errMsg = runErr.Error()
+	}
+}
+
+// firstFailure summarizes a partially failed grid by its first failing
+// point's config key.
+func firstFailure(outs []sweep.Outcome, failed int) string {
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Sprintf("%d of %d points failed; first: %s: %v", failed, len(outs), o.Config.Key(), o.Err)
+		}
+	}
+	return fmt.Sprintf("%d of %d points failed", failed, len(outs))
+}
+
+// notePoint folds one completed point into the job's progress counters.
+func (s *Server) notePoint(jb *job, o sweep.Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb.completed++
+	switch {
+	case o.Err != nil:
+		jb.failed++
+	case o.Cached:
+		jb.cached++
+	default:
+		jb.simulated++
+	}
+}
+
+// retryRunner wraps the configured runner with the transient-retry
+// policy. Panics pass through: sweep.Run's own recovery turns them into
+// per-point PanicErrors, which are permanent by construction.
+func (s *Server) retryRunner(ctx context.Context, jb *job) func(core.Config) (core.Result, error) {
+	base := s.opt.Runner
+	if base == nil {
+		base = core.Run
+	}
+	pol := s.opt.Retry
+	return func(c core.Config) (core.Result, error) {
+		var res core.Result
+		attempts, err := pol.retry(ctx, func() error {
+			var e error
+			res, e = base(c)
+			return e
+		})
+		if attempts > 1 {
+			s.mu.Lock()
+			jb.retries += attempts - 1
+			s.mu.Unlock()
+		}
+		return res, err
+	}
+}
+
+// JobStatus is the polling view of a job: its state plus per-point
+// progress counters (Cached counts store hits — points served without
+// simulating; Retries transient-failure retries absorbed).
+type JobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Cached    int    `json:"cached"`
+	Simulated int    `json:"simulated"`
+	Failed    int    `json:"failed"`
+	Retries   int    `json:"retries,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (st JobStatus) Terminal() bool {
+	switch st.State {
+	case JobDone, JobFailed, JobCancelled, JobInterrupted:
+		return true
+	}
+	return false
+}
+
+func (jb *job) status() JobStatus {
+	return JobStatus{
+		ID:        jb.id,
+		State:     jb.state,
+		Total:     len(jb.grid),
+		Completed: jb.completed,
+		Cached:    jb.cached,
+		Simulated: jb.simulated,
+		Failed:    jb.failed,
+		Retries:   jb.retries,
+		Error:     jb.errMsg,
+	}
+}
+
+// PointOutcome is one grid point's terminal state on the wire. Result
+// carries the exact core.Result (Go's JSON float encoding round-trips
+// float64 bits, so served results are bit-identical to in-process ones);
+// Error is set instead when the point failed.
+type PointOutcome struct {
+	Point  Point        `json:"point"`
+	Result *core.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Cached bool         `json:"cached,omitempty"`
+}
+
+// JobResults is the terminal payload: final status plus one outcome per
+// grid point, in submission order.
+type JobResults struct {
+	Status   JobStatus      `json:"status"`
+	Outcomes []PointOutcome `json:"outcomes"`
+}
+
+// jobRequest is the submission payload.
+type jobRequest struct {
+	Points []Point `json:"points"`
+	// TimeoutMS is the per-job deadline in milliseconds (0: the server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("malformed job: %v", err)})
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "job has no points"})
+		return
+	}
+	grid := make([]core.Config, len(req.Points))
+	for i, p := range req.Points {
+		c, err := p.Config()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("point %d: %v", i, err)})
+			return
+		}
+		grid[i] = c
+	}
+	timeout := s.opt.JobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	s.nextID++
+	jb := &job{
+		id:      fmt.Sprintf("j%06d", s.nextID),
+		grid:    grid,
+		points:  req.Points,
+		timeout: timeout,
+		state:   JobQueued,
+	}
+	select {
+	case s.queue <- jb:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: fmt.Sprintf("job queue is full (%d queued); retry later", s.opt.QueueLimit)})
+		return
+	}
+	s.jobs[jb.id] = jb
+	s.order = append(s.order, jb.id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, JobStatus{ID: jb.id, State: JobQueued, Total: len(grid)})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	jb := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if jb == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no such job %q", r.PathValue("id"))})
+	}
+	return jb
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookupJob(w, r)
+	if jb == nil {
+		return
+	}
+	s.mu.Lock()
+	st := jb.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookupJob(w, r)
+	if jb == nil {
+		return
+	}
+	s.mu.Lock()
+	st := jb.status()
+	outs := jb.outs
+	points := jb.points
+	s.mu.Unlock()
+	if !st.Terminal() {
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job %s is %s; results are available once terminal", st.ID, st.State)})
+		return
+	}
+	res := JobResults{Status: st, Outcomes: make([]PointOutcome, len(points))}
+	for i := range points {
+		po := PointOutcome{Point: points[i]}
+		if i < len(outs) {
+			if outs[i].Err != nil {
+				po.Error = outs[i].Err.Error()
+			} else {
+				r := outs[i].Result
+				po.Result = &r
+				po.Cached = outs[i].Cached
+			}
+		} else {
+			// The job never started (interrupted or cancelled while
+			// queued): every point is unexecuted.
+			po.Error = fmt.Sprintf("point not executed: job %s", st.State)
+		}
+		res.Outcomes[i] = po
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookupJob(w, r)
+	if jb == nil {
+		return
+	}
+	s.mu.Lock()
+	switch jb.state {
+	case JobQueued:
+		jb.state = JobCancelled
+	case JobRunning:
+		jb.reason = JobCancelled
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+	}
+	st := jb.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Status returns a job's status by ID, for in-process embedding.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jb.status(), true
+}

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// testGrid builds n valid, distinct-keyed configs (scripted runners
+// never simulate them, so fidelity does not matter).
+func testGrid(n int) []core.Config {
+	grid := make([]core.Config, n)
+	for i := range grid {
+		c := core.DefaultConfig()
+		c.Seed = int64(i + 1)
+		c.Load = 0.1 + 0.01*float64(i)
+		grid[i] = c
+	}
+	return grid
+}
+
+// testServer wires a Server over a temp store to an httptest listener
+// and returns a fast-polling client. Shutdown is registered as cleanup
+// but may be called explicitly first.
+func testServer(t *testing.T, dir string, opt ServerOptions) (*Server, *Client) {
+	t.Helper()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, opt)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		hs.Close()
+	})
+	return srv, &Client{Base: hs.URL, PollInterval: 5 * time.Millisecond}
+}
+
+func waitState(t *testing.T, c *Client, id string, cond func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+	return JobStatus{}
+}
+
+// TestServerEndToEnd: a grid submitted through the client must come
+// back bit-identical to the same grid run in-process, and resubmitting
+// it must be served entirely from the store.
+func TestServerEndToEnd(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(6)
+	want, err := sweep.Run(context.Background(), grid, sweep.Options{Runner: scripted})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: scripted})
+	var log bytes.Buffer
+	c.Verbose = &log
+	got, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("point %d: %v", i, got[i].Err)
+		}
+		if got[i].Result != want[i].Result {
+			t.Fatalf("point %d diverged from in-process run:\nserved     %+v\nin-process %+v", i, got[i].Result, want[i].Result)
+		}
+	}
+
+	// Resubmission: all points served from the store, zero simulations.
+	again, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if !again[i].Cached || again[i].Result != want[i].Result {
+			t.Fatalf("resubmitted point %d: cached=%v", i, again[i].Cached)
+		}
+	}
+	if !strings.Contains(log.String(), "6 cached, 0 simulated") {
+		t.Fatalf("verbose log lacks the all-cached summary:\n%s", log.String())
+	}
+	st, err := c.StoreStats(context.Background())
+	if err != nil || st.Entries != 6 || st.Quarantined != 0 {
+		t.Fatalf("store stats: %+v err=%v", st, err)
+	}
+}
+
+// TestServerCrashRecoveryRoundTrip is the acceptance scenario: a grid
+// is interrupted mid-execution by a shutdown, the store is reopened by
+// a fresh server, and resubmitting the same grid completes — with every
+// previously finished point served from disk (store-hit counters prove
+// zero re-simulation) and the final outcomes bit-identical to an
+// uninterrupted in-process sweep.Run. The CI serve-smoke job replays
+// this with a real kill -9 between two lapses-serve processes.
+func TestServerCrashRecoveryRoundTrip(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(6)
+	want, err := sweep.Run(context.Background(), grid, sweep.Options{Runner: scripted})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Phase 1: a runner that blocks on the 4th point (Seed 4) until
+	// released, so the shutdown catches the job mid-grid with exactly
+	// 3 points durable plus the in-flight one drained to completion.
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var blockOnce sync.Once
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Seed == 4 {
+			blockOnce.Do(func() { close(blocked) })
+			<-release
+		}
+		return scripted(cfg)
+	}
+	srv, c := testServer(t, dir, ServerOptions{Runner: runner, Workers: 1})
+	st, err := c.Submit(context.Background(), mustPoints(t, grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked // the job is executing its 4th point
+
+	// Shut down mid-grid: the drain must finish the in-flight point
+	// (once released) and stop there.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	// Only release the blocked point once the drain has begun (healthz
+	// flips to 503 under the same lock that cancels the job context).
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if err := c.Health(context.Background()); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown never became observable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	fin := waitState(t, c, st.ID, func(st JobStatus) bool { return st.Terminal() })
+	if fin.State != JobInterrupted {
+		t.Fatalf("interrupted job reports state %q", fin.State)
+	}
+	if fin.Completed != 4 || fin.Simulated != 4 {
+		t.Fatalf("drain did not complete exactly the in-flight work: %+v", fin)
+	}
+
+	// Phase 2: a fresh server over the same store directory. Recovery
+	// must find the 4 durable points intact — nothing quarantined, and
+	// no re-simulation of completed work on resubmission.
+	var calls atomic.Int64
+	countingRunner := func(cfg core.Config) (core.Result, error) {
+		calls.Add(1)
+		return scripted(cfg)
+	}
+	_, c2 := testServer(t, dir, ServerOptions{Runner: countingRunner})
+	var log bytes.Buffer
+	c2.Verbose = &log
+	if st, err := c2.StoreStats(context.Background()); err != nil || st.Entries != 4 || st.Quarantined != 0 {
+		t.Fatalf("recovered store: %+v err=%v", st, err)
+	}
+	got, err := c2.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("resubmission simulated %d points, want exactly the 2 unfinished ones", calls.Load())
+	}
+	if !strings.Contains(log.String(), "4 cached, 2 simulated") {
+		t.Fatalf("verbose log lacks the store-hit proof:\n%s", log.String())
+	}
+	cachedCount := 0
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("resumed point %d: %v", i, got[i].Err)
+		}
+		if got[i].Result != want[i].Result {
+			t.Fatalf("resumed point %d diverged from the uninterrupted run", i)
+		}
+		if got[i].Cached {
+			cachedCount++
+		}
+	}
+	if cachedCount != 4 {
+		t.Fatalf("%d points served from the store, want 4", cachedCount)
+	}
+}
+
+func mustPoints(t *testing.T, grid []core.Config) []Point {
+	t.Helper()
+	pts, err := PointsFromGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// TestServerRetriesTransient: points failing transiently are retried
+// with backoff inside their attempt budget and succeed without failing
+// the job; the retry count is visible in the job status.
+func TestServerRetriesTransient(t *testing.T) {
+	t.Parallel()
+	var attempts sync.Map // key -> *atomic.Int64
+	runner := func(cfg core.Config) (core.Result, error) {
+		v, _ := attempts.LoadOrStore(cfg.Key(), new(atomic.Int64))
+		if v.(*atomic.Int64).Add(1) < 3 {
+			return core.Result{}, Transient(context.DeadlineExceeded)
+		}
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{
+		Runner: runner,
+		Retry:  RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	grid := testGrid(2)
+	got, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("point %d failed despite retry budget: %v", i, got[i].Err)
+		}
+	}
+	st, err := c.StoreStats(context.Background())
+	if err != nil || st.Entries != 2 {
+		t.Fatalf("store after retries: %+v err=%v", st, err)
+	}
+}
+
+// TestServerRetryBudgetExhausted: a point that stays transient beyond
+// MaxAttempts fails that point (reported with its retry count), while
+// the rest of the grid completes.
+func TestServerRetryBudgetExhausted(t *testing.T) {
+	t.Parallel()
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Seed == 2 {
+			return core.Result{}, Transient(context.DeadlineExceeded)
+		}
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{
+		Runner: runner,
+		Retry:  RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+	})
+	grid := testGrid(3)
+	got, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "transient") {
+		t.Fatalf("stubborn point: err=%v", got[1].Err)
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Fatalf("healthy points failed: %v / %v", got[0].Err, got[2].Err)
+	}
+}
+
+// TestServerPanicIsolation: a panicking point fails with a PanicError
+// message; the rest of the grid and the server itself survive.
+func TestServerPanicIsolation(t *testing.T) {
+	t.Parallel()
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Seed == 2 {
+			panic("core: unknown algorithm")
+		}
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: runner})
+	got, err := c.Run(context.Background(), testGrid(3), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "panicked") {
+		t.Fatalf("panicking point: err=%v", got[1].Err)
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Fatalf("bystander points failed: %v / %v", got[0].Err, got[2].Err)
+	}
+	// The server still answers.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("server unhealthy after a point panic: %v", err)
+	}
+}
+
+// TestServerBackpressure: submissions beyond the bounded queue are
+// refused with 429 + Retry-After instead of queueing without bound, and
+// the client's Submit absorbs the backpressure transparently.
+func TestServerBackpressure(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	runner := func(cfg core.Config) (core.Result, error) {
+		<-release
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: runner, QueueLimit: 1, Workers: 1})
+
+	// Fill the executor and the queue: job 1 runs (blocked), job 2 waits.
+	st1, err := c.Submit(context.Background(), mustPoints(t, testGrid(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st1.ID, func(st JobStatus) bool { return st.State == JobRunning })
+	if _, err := c.Submit(context.Background(), mustPoints(t, testGrid(2)[1:])); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next raw submission must bounce with 429 and Retry-After.
+	var bounced JobStatus
+	err = c.do(context.Background(), http.MethodPost, "/v1/jobs", jobRequest{Points: mustPoints(t, testGrid(3)[2:])}, &bounced)
+	ae, ok := err.(*APIStatusError)
+	if !ok || ae.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: err=%v, want 429", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("429 without Retry-After")
+	}
+
+	// Client.Submit keeps retrying; once capacity frees it lands.
+	landed := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), mustPoints(t, testGrid(3)[2:]))
+		landed <- err
+	}()
+	close(release)
+	select {
+	case err := <-landed:
+		if err != nil {
+			t.Fatalf("backpressured submit never landed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("backpressured submit still pending")
+	}
+}
+
+// TestServerJobDeadline: a job exceeding its deadline stops at the next
+// point boundary (in-flight points drain — core.Run is not
+// interruptible) and fails with a descriptive error; finished points
+// stay durable.
+func TestServerJobDeadline(t *testing.T) {
+	t.Parallel()
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Seed >= 2 {
+			time.Sleep(400 * time.Millisecond) // deadline fires mid-point
+		}
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: runner, Workers: 1})
+	c.JobTimeout = 150 * time.Millisecond
+
+	st, err := c.Submit(context.Background(), mustPoints(t, testGrid(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, c, st.ID, func(st JobStatus) bool { return st.Terminal() })
+	if fin.State != JobFailed || !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("deadline job: state=%q error=%q", fin.State, fin.Error)
+	}
+	// Point 1 (fast) and point 2 (in flight at the deadline, drained to
+	// completion) are durable; point 3 was never dispatched.
+	ss, err := c.StoreStats(context.Background())
+	if err != nil || ss.Entries != 2 {
+		t.Fatalf("store after deadline: %+v err=%v", ss, err)
+	}
+}
+
+// TestServerCancel: DELETE on a running job stops it at the next point
+// boundary with state cancelled; completed points stay durable.
+func TestServerCancel(t *testing.T) {
+	t.Parallel()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Seed == 2 {
+			once.Do(func() { close(started) })
+			<-release
+		}
+		return scripted(cfg)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: runner, Workers: 1})
+	st, err := c.Submit(context.Background(), mustPoints(t, testGrid(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	fin := waitState(t, c, st.ID, func(st JobStatus) bool { return st.Terminal() })
+	if fin.State != JobCancelled {
+		t.Fatalf("cancelled job reports %q", fin.State)
+	}
+	if fin.Completed < 2 || fin.Completed >= 4 {
+		t.Fatalf("cancel did not stop at a point boundary: %+v", fin)
+	}
+	// Results of the partial job are still retrievable; unrun points
+	// carry errors.
+	res, err := c.Results(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("partial results: %d outcomes", len(res.Outcomes))
+	}
+	if res.Outcomes[0].Result == nil || res.Outcomes[3].Error == "" {
+		t.Fatalf("partial results malformed: first=%+v last=%+v", res.Outcomes[0], res.Outcomes[3])
+	}
+}
+
+// TestServerRejectsMalformedJobs: bad payloads and unknown jobs get
+// descriptive 4xx errors, and results of a running job are refused.
+func TestServerRejectsMalformedJobs(t *testing.T) {
+	t.Parallel()
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: scripted})
+	ctx := context.Background()
+
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", jobRequest{}, nil); err == nil {
+		t.Error("empty job accepted")
+	}
+	bad := mustPoints(t, testGrid(1))
+	bad[0].Algorithm = "warp-drive"
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", jobRequest{Points: bad}, nil)
+	ae, ok := err.(*APIStatusError)
+	if !ok || ae.Code != http.StatusBadRequest || !strings.Contains(ae.Message, "algorithm") {
+		t.Errorf("bad point: err=%v", err)
+	}
+	if _, err := c.Status(ctx, "j999999"); err == nil {
+		t.Error("unknown job id accepted")
+	}
+	if _, err := c.Results(ctx, "j999999"); err == nil {
+		t.Error("unknown job results accepted")
+	}
+}
+
+// TestClientRunThroughBisect: the client plugged into Options.Exec
+// drives a saturation search; the search must match the in-process one
+// bit for bit (the remote-execution contract for composite helpers).
+func TestClientRunThroughBisect(t *testing.T) {
+	t.Parallel()
+	sat := func(c core.Config) (core.Result, error) {
+		return core.Result{Saturated: c.Load >= 0.42, Throughput: c.Load, TotalCycles: 1000}, nil
+	}
+	spec := sweep.BisectSpec{
+		At: func(load float64) core.Config {
+			c := core.DefaultConfig()
+			c.Load = load
+			return c
+		},
+		Lo: 0.1, Hi: 1.0, Tol: 0.02,
+	}
+	want, err := sweep.Bisect(context.Background(), spec, sweep.Options{Runner: sat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: sat})
+	got, err := sweep.Bisect(context.Background(), spec, sweep.Options{Exec: c.Run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != want.Lo || got.Hi != want.Hi || got.Converged != want.Converged || got.LoResult != want.LoResult {
+		t.Fatalf("served search diverged:\nserved     %s\nin-process %s", got, want)
+	}
+}

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lapses/internal/core"
+)
+
+// scripted returns a deterministic fake result derived from the config,
+// so store round-trip tests can assert bit-identity without simulating.
+func scripted(c core.Config) (core.Result, error) {
+	return core.Result{
+		AvgLatency:  12.5 + c.Load*100,
+		NetLatency:  7.25,
+		Throughput:  c.Load,
+		Delivered:   1000 + c.Seed,
+		TotalCycles: 5000,
+		P99:         1.0 / 3.0, // a value whose decimal form is non-terminating
+	}, nil
+}
+
+func storeConfig(seed int64) core.Config {
+	c := core.DefaultConfig()
+	c.Seed = seed
+	return c
+}
+
+// TestStoreRoundTrip: a stored result is served back bit for bit, both
+// within a process and across a reopen (the crash-survival property).
+func TestStoreRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeConfig(1)
+	var calls atomic.Int64
+	run := func(c core.Config) (core.Result, error) { calls.Add(1); return scripted(c) }
+
+	want, _ := scripted(cfg)
+	res, cached, err := s.Do(context.Background(), cfg, run)
+	if err != nil || cached || res != want {
+		t.Fatalf("first Do: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	res, cached, err = s.Do(context.Background(), cfg, run)
+	if err != nil || !cached || res != want {
+		t.Fatalf("second Do: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner ran %d times, want 1", calls.Load())
+	}
+
+	// A fresh process opening the same directory serves from disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", s2.Len())
+	}
+	res, cached, err = s2.Do(context.Background(), cfg, run)
+	if err != nil || !cached || res != want {
+		t.Fatalf("reopened Do: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("reopened store re-simulated: %d runner calls", calls.Load())
+	}
+	st := s2.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// corruptEntry finds the single object file in dir and mutates it.
+func corruptEntry(t *testing.T, dir string, mutate func(path string, raw []byte)) {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, objectsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("expected exactly 1 object, found %d", len(ents))
+	}
+	path := filepath.Join(dir, objectsDir, ents[0].Name())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(path, raw)
+}
+
+// TestStoreCorruptionDetection is the satellite-3 scenario: a stored
+// result is damaged on disk (truncation, then a bit flip), the store is
+// restarted, and the damage must be detected by checksum, the entry
+// quarantined, and the point transparently re-simulated — never served
+// corrupt.
+func TestStoreCorruptionDetection(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name   string
+		mutate func(path string, raw []byte)
+	}{
+		{"truncated", func(path string, raw []byte) {
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped", func(path string, raw []byte) {
+			// Flip a bit inside the result payload, not the JSON framing:
+			// the file stays parseable and only the checksum catches it.
+			b := append([]byte(nil), raw...)
+			for i := range b {
+				if b[i] >= '1' && b[i] <= '8' {
+					b[i]++
+					break
+				}
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := storeConfig(7)
+			if _, _, err := s.Do(context.Background(), cfg, scripted); err != nil {
+				t.Fatal(err)
+			}
+			corruptEntry(t, dir, tc.mutate)
+
+			// Restart: the recovery scan must quarantine the entry.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("restart over damaged store: %v", err)
+			}
+			st := s2.Stats()
+			if st.Quarantined != 1 || st.Entries != 0 {
+				t.Fatalf("after restart: %+v, want 1 quarantined, 0 entries", st)
+			}
+			q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantine dir: %v entries, err %v", len(q), err)
+			}
+
+			// The damaged point transparently re-simulates and heals.
+			var calls atomic.Int64
+			run := func(c core.Config) (core.Result, error) { calls.Add(1); return scripted(c) }
+			want, _ := scripted(cfg)
+			res, cached, err := s2.Do(context.Background(), cfg, run)
+			if err != nil || cached || res != want || calls.Load() != 1 {
+				t.Fatalf("re-simulation: res=%+v cached=%v err=%v calls=%d", res, cached, err, calls.Load())
+			}
+			res, cached, err = s2.Do(context.Background(), cfg, run)
+			if err != nil || !cached || res != want {
+				t.Fatalf("healed entry not served: cached=%v err=%v", cached, err)
+			}
+		})
+	}
+}
+
+// TestStoreReadTimeCorruption: damage landing after Open (the entry is
+// indexed) is caught at read time by the same checksum, quarantined,
+// and re-simulated — a serving store never returns corrupt bits.
+func TestStoreReadTimeCorruption(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeConfig(9)
+	if _, _, err := s.Do(context.Background(), cfg, scripted); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, dir, func(path string, raw []byte) {
+		if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var calls atomic.Int64
+	run := func(c core.Config) (core.Result, error) { calls.Add(1); return scripted(c) }
+	want, _ := scripted(cfg)
+	res, cached, err := s.Do(context.Background(), cfg, run)
+	if err != nil || cached || res != want || calls.Load() != 1 {
+		t.Fatalf("read-time recovery: res=%+v cached=%v err=%v calls=%d", res, cached, err, calls.Load())
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats after read-time quarantine: %+v", st)
+	}
+}
+
+// TestStoreTempFileCleanup: a temp file left by a crash mid-write is
+// removed by the recovery scan and never treated as an entry.
+func TestStoreTempFileCleanup(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, objectsDir, objName("some-key")+".tmp17")
+	if err := os.WriteFile(tmp, []byte(`{"key":"half-writ`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("temp file counted as entry")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived recovery: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("temp cleanup counted as quarantine: %+v", st)
+	}
+}
+
+// TestStoreMisnamedEntry: a valid entry under the wrong filename (say,
+// copied by hand) is quarantined — the content address must bind.
+func TestStoreMisnamedEntry(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Do(context.Background(), storeConfig(3), scripted); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, dir, func(path string, raw []byte) {
+		os.Remove(path)
+		wrong := filepath.Join(dir, objectsDir, objName("some-other-key")+".json")
+		if err := os.WriteFile(wrong, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries != 0 || st.Quarantined != 1 {
+		t.Fatalf("misnamed entry not quarantined: %+v", st)
+	}
+}
+
+// TestStoreSingleFlight: concurrent requests for one key run the
+// simulation once; every waiter is served the leader's result as a hit.
+func TestStoreSingleFlight(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeConfig(4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	run := func(c core.Config) (core.Result, error) {
+		calls.Add(1)
+		<-gate
+		return scripted(c)
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hits[i], errs[i] = s.Do(context.Background(), cfg, run)
+		}(i)
+	}
+	// Let the flock pile up behind the leader, then release it.
+	for s.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("simulation ran %d times under concurrency, want 1", calls.Load())
+	}
+	nhits := 0
+	for i := range hits {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	if nhits != waiters-1 {
+		t.Fatalf("%d of %d requests were hits, want %d", nhits, waiters, waiters-1)
+	}
+}
+
+// TestStoreErrorsNotCached: a failed simulation is returned but never
+// stored, so the next request retries it.
+func TestStoreErrorsNotCached(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeConfig(5)
+	var calls atomic.Int64
+	boom := fmt.Errorf("boom")
+	run := func(c core.Config) (core.Result, error) {
+		if calls.Add(1) == 1 {
+			return core.Result{}, boom
+		}
+		return scripted(c)
+	}
+	if _, _, err := s.Do(context.Background(), cfg, run); err != boom {
+		t.Fatalf("first Do: err=%v, want boom", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed point was stored")
+	}
+	want, _ := scripted(cfg)
+	res, cached, err := s.Do(context.Background(), cfg, run)
+	if err != nil || cached || res != want {
+		t.Fatalf("retry after failure: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("runner calls %d, want 2", calls.Load())
+	}
+}

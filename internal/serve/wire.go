@@ -1,0 +1,212 @@
+// Package serve is the sweep engine as a long-running service:
+// lapses-serve accepts experiment-grid jobs over HTTP/JSON, executes
+// them through internal/sweep, and persists every completed point to a
+// disk-backed content-addressed result store keyed by core.Config.Key —
+// so overlapping grids submitted across processes, users and restarts
+// cost one simulation per unique point, ever.
+//
+// The package splits into four layers:
+//
+//   - wire.go: Point, the serializable form of a core.Config. Its
+//     round-trip guarantee (PointFromConfig then Point.Config preserves
+//     Config.Key bit for bit) is what makes served results
+//     byte-identical to in-process sweeps.
+//   - store.go: Store, the crash-safe result store (atomic temp-file +
+//     rename writes, per-entry checksums, startup recovery scan with
+//     quarantine, process-level single-flight). It implements
+//     sweep.Cacher.
+//   - server.go / retry.go: Server, the HTTP job service — bounded
+//     queue with 429 backpressure, per-job deadlines and cancellation,
+//     panic-isolated points, transient-failure retry with exponential
+//     backoff and jitter, polling progress, graceful drain.
+//   - client.go: Client, the thin consumer the CLIs use
+//     (lapses-experiments -server); Client.Sweep satisfies
+//     sweep.RunFunc, so grids and bisection probes route through a
+//     server unchanged.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"lapses/internal/core"
+	"lapses/internal/fault"
+	"lapses/internal/selection"
+	"lapses/internal/table"
+	"lapses/internal/traffic"
+)
+
+// Point is the serializable form of one grid point. Enumerations travel
+// by name (the String forms the CLIs already parse) so payloads stay
+// readable and stable across releases; the fault plan travels as its
+// canonical spec string. Trace workloads are process-local (a Trace is
+// keyed by pointer identity) and cannot be represented — PointFromConfig
+// rejects them.
+//
+// The contract, pinned by TestPointRoundTripPreservesKey: for any
+// trace-free Config c, the round trip PointFromConfig(c) → Point.Config
+// yields a config with an identical Config.Key, hence bit-identical
+// simulation results and store lines.
+type Point struct {
+	Dims   []int  `json:"dims"`
+	Torus  bool   `json:"torus,omitempty"`
+	Faults string `json:"faults,omitempty"` // fault.Parse spec, e.g. "12-13,r77"
+
+	VCs       int `json:"vcs"`
+	EscapeVCs int `json:"escape_vcs"`
+	BufDepth  int `json:"buf_depth"`
+	OutDepth  int `json:"out_depth"`
+	LinkDelay int `json:"link_delay"`
+
+	LookAhead  bool   `json:"lookahead"`
+	CutThrough bool   `json:"cut_through,omitempty"`
+	Algorithm  string `json:"algorithm"`
+	Table      string `json:"table"`
+	Selection  string `json:"selection"`
+
+	Pattern string  `json:"pattern"`
+	Load    float64 `json:"load"`
+	MsgLen  int     `json:"msg_len"`
+
+	Warmup  int        `json:"warmup"`
+	Measure int        `json:"measure"`
+	Auto    *AutoPoint `json:"auto,omitempty"`
+
+	MaxCycles  int64   `json:"max_cycles,omitempty"`
+	SatLatency float64 `json:"sat_latency,omitempty"`
+	Seed       int64   `json:"seed"`
+
+	Shards    int  `json:"shards,omitempty"`
+	EventMode bool `json:"event_mode,omitempty"`
+}
+
+// AutoPoint mirrors core.AutoMeasure on the wire.
+type AutoPoint struct {
+	RelTol      float64 `json:"rel_tol,omitempty"`
+	MinMessages int     `json:"min_messages,omitempty"`
+	MaxMessages int     `json:"max_messages,omitempty"`
+	CheckEvery  int     `json:"check_every,omitempty"`
+}
+
+// PointFromConfig converts a Config to its wire form. Trace-driven
+// configs are rejected: a *traffic.Trace is identified by address, which
+// no other process can honor.
+func PointFromConfig(c core.Config) (Point, error) {
+	if c.Trace != nil {
+		return Point{}, fmt.Errorf("serve: trace workloads are process-local and cannot be submitted to a server")
+	}
+	p := Point{
+		Dims:       append([]int(nil), c.Dims...),
+		Torus:      c.Torus,
+		VCs:        c.VCs,
+		EscapeVCs:  c.EscapeVCs,
+		BufDepth:   c.BufDepth,
+		OutDepth:   c.OutDepth,
+		LinkDelay:  c.LinkDelay,
+		LookAhead:  c.LookAhead,
+		CutThrough: c.CutThrough,
+		Algorithm:  c.Algorithm.String(),
+		Table:      c.Table.String(),
+		Selection:  c.Selection.String(),
+		Pattern:    c.Pattern.String(),
+		Load:       c.Load,
+		MsgLen:     c.MsgLen,
+		Warmup:     c.Warmup,
+		Measure:    c.Measure,
+		MaxCycles:  c.MaxCycles,
+		SatLatency: c.SatLatency,
+		Seed:       c.Seed,
+		Shards:     c.Shards,
+		EventMode:  c.EventMode,
+	}
+	if !c.Faults.Empty() {
+		// Plan.Key is the canonical "A-B;...;rN" content; Parse reads
+		// the same items comma-separated.
+		p.Faults = strings.ReplaceAll(c.Faults.Key(), ";", ",")
+	}
+	if c.Auto != nil {
+		p.Auto = &AutoPoint{
+			RelTol:      c.Auto.RelTol,
+			MinMessages: c.Auto.MinMessages,
+			MaxMessages: c.Auto.MaxMessages,
+			CheckEvery:  c.Auto.CheckEvery,
+		}
+	}
+	return p, nil
+}
+
+// Config materializes the wire point back into a validated core.Config.
+func (p Point) Config() (core.Config, error) {
+	if len(p.Dims) == 0 {
+		return core.Config{}, fmt.Errorf("serve: point has no dimensions")
+	}
+	for _, k := range p.Dims {
+		if k < 2 {
+			return core.Config{}, fmt.Errorf("serve: point radix %d < 2", k)
+		}
+	}
+	c := core.Config{
+		Dims:       append([]int(nil), p.Dims...),
+		Torus:      p.Torus,
+		VCs:        p.VCs,
+		EscapeVCs:  p.EscapeVCs,
+		BufDepth:   p.BufDepth,
+		OutDepth:   p.OutDepth,
+		LinkDelay:  p.LinkDelay,
+		LookAhead:  p.LookAhead,
+		CutThrough: p.CutThrough,
+		Load:       p.Load,
+		MsgLen:     p.MsgLen,
+		Warmup:     p.Warmup,
+		Measure:    p.Measure,
+		MaxCycles:  p.MaxCycles,
+		SatLatency: p.SatLatency,
+		Seed:       p.Seed,
+		Shards:     p.Shards,
+		EventMode:  p.EventMode,
+	}
+	var err error
+	if c.Algorithm, err = core.ParseAlg(p.Algorithm); err != nil {
+		return core.Config{}, fmt.Errorf("serve: point algorithm: %w", err)
+	}
+	if c.Table, err = table.ParseKind(p.Table); err != nil {
+		return core.Config{}, fmt.Errorf("serve: point table: %w", err)
+	}
+	if c.Selection, err = selection.ParseKind(p.Selection); err != nil {
+		return core.Config{}, fmt.Errorf("serve: point selection: %w", err)
+	}
+	if c.Pattern, err = traffic.ParseKind(p.Pattern); err != nil {
+		return core.Config{}, fmt.Errorf("serve: point pattern: %w", err)
+	}
+	if p.Auto != nil {
+		c.Auto = &core.AutoMeasure{
+			RelTol:      p.Auto.RelTol,
+			MinMessages: p.Auto.MinMessages,
+			MaxMessages: p.Auto.MaxMessages,
+			CheckEvery:  p.Auto.CheckEvery,
+		}
+	}
+	if p.Faults != "" {
+		if c.Faults, err = fault.Parse(c.Mesh(), p.Faults); err != nil {
+			return core.Config{}, fmt.Errorf("serve: point faults: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("serve: point config: %w", err)
+	}
+	return c, nil
+}
+
+// PointsFromGrid converts a grid, failing on the first unserializable
+// config with its index.
+func PointsFromGrid(grid []core.Config) ([]Point, error) {
+	pts := make([]Point, len(grid))
+	for i, c := range grid {
+		p, err := PointFromConfig(c)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}

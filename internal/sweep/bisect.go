@@ -130,7 +130,8 @@ type bisectRun struct {
 	res  *BisectResult
 }
 
-// eval probes the given loads (one sweep.Run round) and returns their
+// eval probes the given loads (one sweep.Run round — or one round of
+// Options.Exec, so a remote backend serves the probes) and returns their
 // outcomes in load order. Probe errors abort the search: a config error
 // means the caller built a bad spec, exactly like a bad experiment grid.
 func (b *bisectRun) eval(loads []float64) ([]Outcome, error) {
@@ -138,7 +139,7 @@ func (b *bisectRun) eval(loads []float64) ([]Outcome, error) {
 	for i, x := range loads {
 		grid[i] = b.spec.At(x)
 	}
-	outs, err := Run(b.ctx, grid, b.opt)
+	outs, err := b.opt.exec()(b.ctx, grid, b.opt)
 	if err != nil {
 		return nil, err
 	}

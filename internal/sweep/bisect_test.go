@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"lapses/internal/core"
@@ -224,5 +225,42 @@ func TestBisectSpecValidation(t *testing.T) {
 	spec := scriptedSpec(0.5, 0.1) // inverted bracket
 	if _, err := Bisect(context.Background(), spec, Options{Runner: scriptedRunner(0.3)}); err == nil {
 		t.Error("inverted bracket accepted")
+	}
+}
+
+// TestBisectRoutesThroughExec: with Options.Exec set, every probe round
+// must dispatch through the pluggable executor (the seam the
+// lapses-serve client uses to serve bisection probes remotely), and the
+// search result must match the in-process one bit for bit.
+func TestBisectRoutesThroughExec(t *testing.T) {
+	t.Parallel()
+	base := Options{Runner: scriptedRunner(0.42)}
+	want, err := Bisect(context.Background(), scriptedSpec(0.1, 1.0), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execCalls, execPoints atomic.Int64
+	routed := base
+	routed.Exec = func(ctx context.Context, grid []core.Config, opt Options) ([]Outcome, error) {
+		execCalls.Add(1)
+		execPoints.Add(int64(len(grid)))
+		// Delegate to the in-process engine, as a real remote executor
+		// delegates to a server running the same engine.
+		inner := opt
+		inner.Exec = nil
+		return Run(ctx, grid, inner)
+	}
+	got, err := Bisect(context.Background(), scriptedSpec(0.1, 1.0), routed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execCalls.Load() == 0 {
+		t.Fatal("Bisect never consulted Options.Exec")
+	}
+	if int(execPoints.Load()) != got.Probes {
+		t.Errorf("exec saw %d points, search accounted %d probes", execPoints.Load(), got.Probes)
+	}
+	if got.Lo != want.Lo || got.Hi != want.Hi || got.Converged != want.Converged || got.Probes != want.Probes {
+		t.Errorf("routed search diverged: got %s want %s", got, want)
 	}
 }

@@ -14,7 +14,9 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"lapses/internal/core"
@@ -35,6 +37,23 @@ type Outcome struct {
 	Cached bool
 }
 
+// Cacher is the memo-cache seam of the sweep engine: Do returns the
+// result for cfg, running run on a miss, and reports whether the result
+// was served from a completed or in-flight prior point. Implementations
+// must be safe for concurrent use and are responsible for single-flight
+// duplicate suppression. *Cache is the in-memory implementation;
+// serve.Store is the disk-backed content-addressed one, which makes
+// memoization survive process restarts.
+type Cacher interface {
+	Do(ctx context.Context, cfg core.Config, run func(core.Config) (core.Result, error)) (core.Result, bool, error)
+}
+
+// RunFunc is the signature of Run. Remote executors — the lapses-serve
+// client, which submits grids to a long-running service instead of
+// simulating in-process — satisfy it, so everything built on grids can
+// swap execution backends through Options.Exec.
+type RunFunc func(ctx context.Context, grid []core.Config, opt Options) ([]Outcome, error)
+
 // Options configure a Run.
 type Options struct {
 	// Workers bounds how many points simulate concurrently; <= 0 derives
@@ -46,10 +65,21 @@ type Options struct {
 	// Cache, when non-nil, memoizes results by core.Config.Key so
 	// repeated points simulate once. A cache may be shared across Runs
 	// and across goroutines.
-	Cache *Cache
+	Cache Cacher
 	// Runner replaces core.Run, for tests that need scripted results or
 	// controllable blocking. Nil means core.Run.
 	Runner func(core.Config) (core.Result, error)
+	// Exec, when non-nil, replaces Run for the composite helpers layered
+	// on top of the engine — Bisect, SaturationScan and the experiment
+	// grid runners — so a remote backend executes every point. Run
+	// itself never consults Exec (an executor that called back into the
+	// same Options would recurse).
+	Exec RunFunc
+	// OnPoint, when non-nil, is invoked as each point completes, from
+	// the worker goroutine that ran it (calls may be concurrent; i is
+	// the grid index). It is the progress-streaming hook: lapses-serve
+	// feeds per-job status counters from it.
+	OnPoint func(i int, o Outcome)
 }
 
 // workersFor resolves the worker-pool width for a grid: an explicit
@@ -81,20 +111,62 @@ func (o Options) runner() func(core.Config) (core.Result, error) {
 	return core.Run
 }
 
+// exec resolves the grid executor composite helpers dispatch through.
+func (o Options) exec() RunFunc {
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return Run
+}
+
+// PanicError is the per-point error a panicking simulation is converted
+// into: sweep workers isolate panics so one bad point (say, a config
+// whose algorithm identifier reaches the kernel's unknown-algorithm
+// panic) yields an error Outcome while the rest of the grid — and the
+// process hosting it, which may be a long-running server — survives.
+type PanicError struct {
+	// Value is the value the point panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: point panicked: %v", e.Value)
+}
+
+// safeRunner wraps run so a panic becomes a returned *PanicError.
+func safeRunner(run func(core.Config) (core.Result, error)) func(core.Config) (core.Result, error) {
+	return func(c core.Config) (res core.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = core.Result{}, &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return run(c)
+	}
+}
+
 // Run executes every point of grid and returns one Outcome per point, in
 // grid order regardless of completion order.
 //
 // Point failures are per-point: Outcome.Err is set and the sweep
 // continues, replacing the panic-on-error style of the old serial
-// harness. Cancelling ctx stops dispatching; points already running
-// finish (core.Run is not interruptible), unstarted points carry
-// ctx.Err(), and Run returns ctx.Err() alongside the partial outcomes.
+// harness. A panicking point is recovered into a *PanicError Outcome
+// the same way — the rest of the grid completes. Cancelling ctx stops
+// dispatching; points already running finish (core.Run is not
+// interruptible), unstarted points carry ctx.Err(), and Run returns
+// ctx.Err() alongside the partial outcomes.
 func Run(ctx context.Context, grid []core.Config, opt Options) ([]Outcome, error) {
 	outs := make([]Outcome, len(grid))
 	for i := range grid {
 		outs[i].Config = grid[i]
 	}
-	run := opt.runner()
+	// Panic recovery wraps the runner underneath the cache, so a cache
+	// leader that panics still resolves its in-flight entry (waiters get
+	// the error instead of hanging on a never-closed channel).
+	run := safeRunner(opt.runner())
+	cache := opt.Cache
 
 	workers := opt.workersFor(grid)
 	if workers > len(grid) {
@@ -107,7 +179,14 @@ func Run(ctx context.Context, grid []core.Config, opt Options) ([]Outcome, error
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outs[i].Result, outs[i].Cached, outs[i].Err = opt.Cache.do(ctx, grid[i], run)
+				if cache != nil {
+					outs[i].Result, outs[i].Cached, outs[i].Err = cache.Do(ctx, grid[i], run)
+				} else {
+					outs[i].Result, outs[i].Err = run(grid[i])
+				}
+				if opt.OnPoint != nil {
+					opt.OnPoint(i, outs[i])
+				}
 			}
 		}()
 	}

@@ -238,7 +238,7 @@ func TestMemoCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, _, err := cache.do(context.Background(), cfg, run)
+			res, _, err := cache.Do(context.Background(), cfg, run)
 			if err != nil || res.AvgLatency != 7 {
 				t.Errorf("do = %v, %v", res, err)
 			}
@@ -263,14 +263,14 @@ func TestMemoCacheDoesNotCacheErrors(t *testing.T) {
 		}
 		return core.Result{AvgLatency: 3}, nil
 	}
-	if _, _, err := cache.do(context.Background(), cfg, run); err == nil {
+	if _, _, err := cache.Do(context.Background(), cfg, run); err == nil {
 		t.Fatal("first call should fail")
 	}
 	if cache.Len() != 0 {
 		t.Fatalf("error was cached (len %d)", cache.Len())
 	}
 	fail = false
-	res, cached, err := cache.do(context.Background(), cfg, run)
+	res, cached, err := cache.Do(context.Background(), cfg, run)
 	if err != nil || cached || res.AvgLatency != 3 {
 		t.Errorf("retry = %v cached=%v err=%v", res, cached, err)
 	}
@@ -422,5 +422,138 @@ func TestWorkerBudgetAgainstShards(t *testing.T) {
 
 	if got := (Options{Workers: 5}).workersFor(sharded); got != 5 {
 		t.Errorf("explicit Workers overridden: got %d, want 5", got)
+	}
+}
+
+// TestPanicIsolatedPerPoint: a panicking point must come back as a
+// *PanicError Outcome while the rest of the grid completes — one bad
+// config cannot kill the process hosting the sweep.
+func TestPanicIsolatedPerPoint(t *testing.T) {
+	t.Parallel()
+	grid := gridOf(6)
+	opt := Options{
+		Workers: 3,
+		Runner: func(c core.Config) (core.Result, error) {
+			if c.Seed == 3 {
+				panic("scripted point failure")
+			}
+			return core.Result{AvgLatency: float64(c.Seed)}, nil
+		},
+	}
+	outs, err := Run(context.Background(), grid, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(o.Err, &pe) {
+				t.Fatalf("point 3 err = %v, want *PanicError", o.Err)
+			}
+			if pe.Value != "scripted point failure" || len(pe.Stack) == 0 {
+				t.Errorf("PanicError = {%v, %d-byte stack}", pe.Value, len(pe.Stack))
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Errorf("point %d: %v", i, o.Err)
+		}
+	}
+}
+
+// TestPanicIsolatedThroughCoreRun drives the real panic path: an
+// algorithm identifier outside the known set passes Validate but hits
+// the kernel's unknown-algorithm panic during construction. The point
+// must error; its neighbors must still simulate.
+func TestPanicIsolatedThroughCoreRun(t *testing.T) {
+	t.Parallel()
+	good := core.DefaultConfig().QuickFidelity()
+	good.Dims = []int{4, 4}
+	good.Warmup, good.Measure = 20, 200
+	bad := good
+	bad.Algorithm = core.Alg(99)
+	outs, err := Run(context.Background(), []core.Config{good, bad, good}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(outs[1].Err, &pe) {
+		t.Fatalf("unknown-algorithm point err = %v, want *PanicError", outs[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if outs[i].Err != nil {
+			t.Errorf("point %d: %v", i, outs[i].Err)
+		}
+		if outs[i].Result.Delivered == 0 {
+			t.Errorf("point %d delivered nothing", i)
+		}
+	}
+}
+
+// TestPanicResolvesCacheWaiters: when the cache leader panics, waiters
+// on the same key must receive the error rather than hang.
+func TestPanicResolvesCacheWaiters(t *testing.T) {
+	t.Parallel()
+	cfg := core.DefaultConfig()
+	grid := []core.Config{cfg, cfg, cfg, cfg}
+	outs, err := Run(context.Background(), grid, Options{
+		Workers: 4,
+		Cache:   NewCache(),
+		Runner: func(core.Config) (core.Result, error) {
+			time.Sleep(2 * time.Millisecond) // widen the in-flight window
+			panic("leader down")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		var pe *PanicError
+		if !errors.As(o.Err, &pe) {
+			t.Errorf("point %d err = %v, want *PanicError", i, o.Err)
+		}
+	}
+}
+
+// TestOnPointStreamsProgress: the hook must fire once per point, from
+// workers, with the point's final outcome.
+func TestOnPointStreamsProgress(t *testing.T) {
+	t.Parallel()
+	grid := gridOf(9)
+	var mu sync.Mutex
+	seen := map[int]Outcome{}
+	opt := Options{
+		Workers: 3,
+		Runner: func(c core.Config) (core.Result, error) {
+			if c.Seed == 4 {
+				return core.Result{}, errors.New("bad point")
+			}
+			return core.Result{AvgLatency: float64(c.Seed)}, nil
+		},
+		OnPoint: func(i int, o Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[i]; dup {
+				t.Errorf("OnPoint fired twice for %d", i)
+			}
+			seen[i] = o
+		},
+	}
+	if _, err := Run(context.Background(), grid, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(grid) {
+		t.Fatalf("OnPoint fired for %d of %d points", len(seen), len(grid))
+	}
+	for i, o := range seen {
+		if i == 4 {
+			if o.Err == nil {
+				t.Error("OnPoint for the failing point carried no error")
+			}
+			continue
+		}
+		if o.Err != nil || int(o.Result.AvgLatency) != i {
+			t.Errorf("OnPoint %d = %+v", i, o)
+		}
 	}
 }

@@ -67,6 +67,20 @@ const (
 	KindInterval
 )
 
+// Kinds lists every table organization, in declaration order.
+var Kinds = []Kind{KindFull, KindES, KindMetaRow, KindMetaBlock, KindInterval}
+
+// ParseKind converts an organization name (the String form) back to its
+// identifier — the inverse CLI flags and serialized job payloads need.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("table: unknown organization %q", s)
+}
+
 func (k Kind) String() string {
 	switch k {
 	case KindFull:
