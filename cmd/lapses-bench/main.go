@@ -62,13 +62,21 @@ type entry struct {
 	// EventMode records that the entry ran the event-driven execution
 	// mode (schema 4) rather than the cycle-accurate kernel.
 	EventMode bool `json:"event_mode,omitempty"`
+	// Bursty and Notify record the congestion-experiment regime (schema
+	// 5): bursty MMPP sources in place of the stationary Poisson process,
+	// and a notification (Notify*) selection policy in place of a purely
+	// local one.
+	Bursty bool `json:"bursty,omitempty"`
+	Notify bool `json:"notify,omitempty"`
 }
 
 // snapshot is the BENCH_<date>.json schema. Schema 2 added per-entry
 // gomaxprocs/shards/skipped_frac; schema 3 adds simulated_cycles_total
 // and the sweep/16pt/auto + bisect/16x16 entries; schema 4 adds
-// event_mode and the sim/16x16/.../events entries. Older baselines still
-// load for comparison (schema-1 entries are implicitly shards=1).
+// event_mode and the sim/16x16/.../events entries; schema 5 adds
+// bursty/notify and the sim/16x16/load=0.20/bursty[...] entries. Older
+// baselines still load for comparison (schema-1 entries are implicitly
+// shards=1).
 type snapshot struct {
 	Schema     int     `json:"schema"`
 	Date       string  `json:"date"`
@@ -101,7 +109,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     4,
+		Schema:     5,
 		Date:       time.Now().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -122,6 +130,8 @@ func main() {
 		})
 		e.Shards = c.EffectiveShards()
 		e.EventMode = c.EventMode
+		e.Bursty = c.Burst != nil
+		e.Notify = c.Selection.IsNotify()
 		if total > 0 {
 			e.SkippedFrac = float64(skipped) / float64(total)
 		}
@@ -166,6 +176,20 @@ func main() {
 		c := simPoint(load)
 		c.EventMode = true
 		sim(fmt.Sprintf("sim/16x16/load=%.2f/events", load), c)
+	}
+
+	// Bursty MMPP sources and notification selection at the workhorse
+	// operating point (schema 5): the congestion-experiment regime. The
+	// bursty entry isolates the MMPP source cost against the plain
+	// load=0.20 entry; the notify entry layers the credit-piggybacked
+	// congestion tracking and the Notify selector's filtering pass on the
+	// same bursty workload.
+	{
+		c := simPoint(0.2)
+		c.Burst = &traffic.Burst{OnFrac: 0.3, MeanOn: 200}
+		sim("sim/16x16/load=0.20/bursty", c)
+		c.Selection = selection.NotifyMaxCredit
+		sim("sim/16x16/load=0.20/bursty/notify", c)
 	}
 
 	// Construction cost: what every sweep point pays before cycle zero.

@@ -6,7 +6,7 @@ import (
 )
 
 func snap(entries ...entry) snapshot {
-	return snapshot{Schema: 4, GOMAXPROCS: 4, Entries: entries}
+	return snapshot{Schema: 5, GOMAXPROCS: 4, Entries: entries}
 }
 
 func ent(name string, ns, allocs float64) entry {

@@ -54,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, table3, fig6, table4, table5, resilience, scaling, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, table3, fig6, table4, table5, resilience, scaling, congestion, or all")
 	fidelity := flag.String("fidelity", "default", "sample size: quick, default, paper, or auto (adaptive measurement)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
@@ -147,7 +147,7 @@ func main() {
 
 func hasCSV(name string) bool {
 	switch name {
-	case "fig5", "table3", "fig6", "table4", "resilience", "scaling":
+	case "fig5", "table3", "fig6", "table4", "resilience", "scaling", "congestion":
 		return true
 	}
 	return false

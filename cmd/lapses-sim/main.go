@@ -16,6 +16,14 @@
 //	lapses-sim -load 0.3 -faults 4 -fault-seed 7
 //	lapses-sim -load 0.3 -faults 12-13,40-41,r77
 //
+// -burst switches every source to a bursty two-state MMPP at the same
+// mean rate, and -qos enables two-class traffic with VC reservation —
+// the workloads the notification selectors (-selection notify-lru etc.)
+// are built for:
+//
+//	lapses-sim -load 0.5 -burst 0.3,200 -selection notify-max-credit
+//	lapses-sim -load 0.3 -qos 0.2,1 -pattern hotspot
+//
 // -auto switches to the adaptive measurement tier: MSER-5 warmup
 // truncation plus CI-based early stopping at the -auto-tol relative
 // half-width, with -warmup+-measure as the message ceiling. The summary
@@ -50,9 +58,11 @@ func main() {
 	la := flag.Bool("lookahead", cfg.LookAhead, "use the 4-stage LA-PROUD pipeline")
 	alg := flag.String("alg", cfg.Algorithm.String(), "routing algorithm: xy, yx, duato, north-last, west-first, negative-first")
 	tbl := flag.String("table", cfg.Table.String(), "table organization: full, es, meta-row, meta-block, interval")
-	sel := flag.String("selection", cfg.Selection.String(), "path selection: static-xy, min-mux, lfu, lru, max-credit, random")
+	sel := flag.String("selection", cfg.Selection.String(), "path selection: static-xy, min-mux, lfu, lru, max-credit, random, notify-lru, notify-lfu, notify-max-credit")
 	pattern := flag.String("pattern", cfg.Pattern.String(), "traffic pattern: uniform, transpose, bit-reversal, shuffle, ...")
 	load := flag.Float64("load", cfg.Load, "normalized load (1.0 = bisection saturation)")
+	burst := flag.String("burst", "", "bursty MMPP sources as ONFRAC,MEANON (e.g. 0.3,200): fraction of time spent ON and mean ON-period cycles, same mean rate as -load")
+	qos := flag.String("qos", "", "two-class QoS traffic as HIFRAC,HIVCS (e.g. 0.2,1): high-class probability and reserved top adaptive VCs")
 	msgLen := flag.Int("msglen", cfg.MsgLen, "message length in flits")
 	warmup := flag.Int("warmup", cfg.Warmup, "warm-up messages (excluded from stats)")
 	measure := flag.Int("measure", cfg.Measure, "measured messages")
@@ -100,6 +110,16 @@ func main() {
 	}
 	cfg.Load, cfg.MsgLen = *load, *msgLen
 	cfg.Warmup, cfg.Measure, cfg.Seed = *warmup, *measure, *seed
+	if *burst != "" {
+		if cfg.Burst, err = parseBurst(*burst); err != nil {
+			fatal(err)
+		}
+	}
+	if *qos != "" {
+		if cfg.QoS, err = parseQoS(*qos); err != nil {
+			fatal(err)
+		}
+	}
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards %d: shard count must be at least 1", *shards))
 	}
@@ -126,6 +146,14 @@ func main() {
 	fmt.Printf("router         %s, %s routing, %s table, %s selection\n",
 		pipeName(cfg.LookAhead), cfg.Algorithm, cfg.Table, cfg.Selection)
 	fmt.Printf("workload       %s, load %.2f, %d-flit messages\n", cfg.Pattern, cfg.Load, cfg.MsgLen)
+	if cfg.Burst != nil {
+		fmt.Printf("bursty         MMPP on/off sources: on-fraction %.2f, mean on-period %.0f cycles\n",
+			cfg.Burst.OnFrac, cfg.Burst.MeanOn)
+	}
+	if cfg.QoS != nil {
+		fmt.Printf("qos            high-class probability %.2f, top %d adaptive VC(s) reserved\n",
+			cfg.QoS.HiFrac, cfg.QoS.HiVCs)
+	}
 	if !cfg.Faults.Empty() {
 		fmt.Printf("faults         %d links, %d routers down: %s\n",
 			cfg.Faults.NumLinks(), cfg.Faults.NumRouters(), cfg.Faults.Key())
@@ -185,6 +213,54 @@ func parseFaults(cfg core.Config, spec string, seed int64) (*fault.Plan, error) 
 		return fault.Random(m, n, 0, seed)
 	}
 	return fault.Parse(m, spec)
+}
+
+// parseBurst reads the -burst spec "ONFRAC,MEANON" into an MMPP burst
+// parameterization; ranges are validated here so a bad spec fails before
+// the network is built.
+func parseBurst(spec string) (*traffic.Burst, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -burst %q: want ONFRAC,MEANON (e.g. 0.3,200)", spec)
+	}
+	onFrac, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -burst %q: %v", spec, err)
+	}
+	meanOn, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -burst %q: %v", spec, err)
+	}
+	b := &traffic.Burst{OnFrac: onFrac, MeanOn: meanOn}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("-burst %q: %v", spec, err)
+	}
+	return b, nil
+}
+
+// parseQoS reads the -qos spec "HIFRAC,HIVCS" into a two-class QoS
+// specification. The VC-count-dependent reservation bound is checked by
+// core.Run against the configured channel counts.
+func parseQoS(spec string) (*core.QoSSpec, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -qos %q: want HIFRAC,HIVCS (e.g. 0.2,1)", spec)
+	}
+	hiFrac, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -qos %q: %v", spec, err)
+	}
+	hiVCs, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("bad -qos %q: %v", spec, err)
+	}
+	if hiFrac < 0 || hiFrac > 1 {
+		return nil, fmt.Errorf("-qos %q: high-class probability %g outside [0,1]", spec, hiFrac)
+	}
+	if hiVCs < 1 {
+		return nil, fmt.Errorf("-qos %q: reserved VC count %d must be at least 1", spec, hiVCs)
+	}
+	return &core.QoSSpec{HiFrac: hiFrac, HiVCs: hiVCs}, nil
 }
 
 func parseDims(s string) ([]int, error) {

@@ -132,6 +132,18 @@ type Config struct {
 	Pattern traffic.Kind
 	Load    float64
 	MsgLen  int
+	// Burst, when non-nil, makes every node's source a bursty two-state
+	// MMPP on/off process at the same mean rate (traffic.Burst): arrivals
+	// cluster into ON periods while the offered load stays Load. Nil (the
+	// default) keeps the stationary Poisson source bit-identical to
+	// previous releases. Ignored for trace workloads.
+	Burst *traffic.Burst
+	// QoS, when non-nil, enables two-class traffic with per-class VC
+	// reservation: each generated message is high-class with probability
+	// HiFrac, and the top HiVCs adaptive VCs of every physical channel are
+	// reserved for high-class traffic (escape VCs stay shared, preserving
+	// deadlock freedom). Nil keeps single-class traffic.
+	QoS *QoSSpec
 	// Trace, when non-nil, replaces Pattern/Load with trace-driven
 	// injection (application workloads; see traffic.Trace). Warmup +
 	// Measure must not exceed the trace's message count.
@@ -176,6 +188,21 @@ type Config struct {
 	// deterministic for a fixed configuration and shard count. See README
 	// "Execution modes".
 	EventMode bool
+}
+
+// QoSSpec configures two-class traffic with VC reservation (Config.QoS).
+// The class draw consumes one extra variate from the node's generation
+// stream per message (gated, so nil-QoS runs consume exactly the draws of
+// previous releases and stay bit-identical); QoS runs are deterministic
+// and bit-identical across shard counts like any other configuration.
+type QoSSpec struct {
+	// HiFrac is the probability a generated message is high-class, in
+	// [0, 1].
+	HiFrac float64
+	// HiVCs is how many of the highest-numbered adaptive VCs are reserved
+	// for high-class messages, in [1, VCs-EscapeVCs). Escape VCs are the
+	// lowest-numbered VCs and are never reserved.
+	HiVCs int
 }
 
 // AutoMeasure configures the adaptive measurement tier (Config.Auto).
@@ -310,6 +337,15 @@ func (c Config) Key() string {
 		fmt.Fprintf(&b, ",au[%x,%d,%d,%d]",
 			math.Float64bits(a.RelTol), a.MinSamples, a.MaxSamples, a.CheckEvery)
 	}
+	// Bursty sources and QoS classes change the workload, so they key by
+	// their parameters; the nil defaults add nothing and leave every
+	// pre-existing key byte-identical.
+	if c.Burst != nil {
+		fmt.Fprintf(&b, ",mm[%x,%x]", math.Float64bits(c.Burst.OnFrac), math.Float64bits(c.Burst.MeanOn))
+	}
+	if c.QoS != nil {
+		fmt.Fprintf(&b, ",q[%x,%d]", math.Float64bits(c.QoS.HiFrac), c.QoS.HiVCs)
+	}
 	// The fault plan is keyed by canonical content, so equal damage from
 	// different Plan pointers memoizes together and any difference in
 	// damage never shares a cache line. Empty plans key like nil: a
@@ -401,6 +437,24 @@ func (c Config) Validate() error {
 		if c.Trace != nil && c.adaptive().MaxSamples > c.Trace.Total() {
 			return fmt.Errorf("core: Auto ceiling (%d) exceeds trace messages (%d)",
 				c.adaptive().MaxSamples, c.Trace.Total())
+		}
+	}
+	if c.Burst != nil {
+		if c.Trace != nil {
+			return fmt.Errorf("core: Burst is ignored under trace workloads; unset one")
+		}
+		if err := c.Burst.Validate(); err != nil {
+			return err
+		}
+	}
+	if q := c.QoS; q != nil {
+		if q.HiFrac < 0 || q.HiFrac > 1 {
+			return fmt.Errorf("core: QoS.HiFrac %g outside [0,1]", q.HiFrac)
+		}
+		adaptiveVCs := c.VCs - c.class().EscapeVCs
+		if q.HiVCs < 1 || q.HiVCs >= adaptiveVCs {
+			return fmt.Errorf("core: QoS.HiVCs %d must leave at least one unreserved adaptive VC (adaptive VCs: %d)",
+				q.HiVCs, adaptiveVCs)
 		}
 	}
 	if c.Table == table.KindInterval && !c.Algorithm.Deterministic() {
@@ -560,6 +614,11 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Trace == nil {
 		ncfg.Pattern = traffic.New(cfg.Pattern, m)
 		ncfg.MsgRate = traffic.MessageRate(m, cfg.Load, cfg.MsgLen)
+		ncfg.Burst = cfg.Burst
+	}
+	if cfg.QoS != nil {
+		ncfg.QoSHiFrac = cfg.QoS.HiFrac
+		ncfg.Router.ResvVCs = cfg.QoS.HiVCs
 	}
 	if err := ncfg.Validate(); err != nil {
 		return Result{}, err

@@ -248,6 +248,8 @@ func TestConfigKey(t *testing.T) {
 		func(c *Config) { c.Pattern = traffic.Shuffle },
 		func(c *Config) { c.Load = 0.25 },
 		func(c *Config) { c.MsgLen = 5 },
+		func(c *Config) { c.Burst = &traffic.Burst{OnFrac: 0.25, MeanOn: 100} },
+		func(c *Config) { c.QoS = &QoSSpec{HiFrac: 0.2, HiVCs: 1} },
 		func(c *Config) { c.Trace = &traffic.Trace{} },
 		func(c *Config) { c.Warmup = 1 },
 		func(c *Config) { c.Measure = 7 },

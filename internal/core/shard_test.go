@@ -42,7 +42,26 @@ func TestShardEquivalence(t *testing.T) {
 	torus.EscapeVCs = 2
 	torus.Pattern = traffic.Uniform
 
-	for name, cfg := range map[string]core.Config{"healthy": base, "faulted": faulted, "torus": torus} {
+	// Congestion notifications piggyback on credits, which cross the
+	// phase-B barrier; bursty MMPP sources and hotspot traffic make the
+	// notified levels actually vary, so this case fails if the piggyback
+	// ever reads another shard's mid-step state.
+	notify := base
+	notify.Pattern = traffic.Hotspot
+	notify.Selection = selection.NotifyMaxCredit
+	notify.Burst = &traffic.Burst{OnFrac: 0.3, MeanOn: 100}
+
+	// QoS adds the class draw to message generation and VC reservation to
+	// allocation, both of which must stay identical under sharding.
+	qos := base
+	qos.Selection = selection.NotifyLRU
+	qos.Burst = &traffic.Burst{OnFrac: 0.5, MeanOn: 50}
+	qos.QoS = &core.QoSSpec{HiFrac: 0.25, HiVCs: 1}
+
+	for name, cfg := range map[string]core.Config{
+		"healthy": base, "faulted": faulted, "torus": torus,
+		"notify-bursty": notify, "qos-notify": qos,
+	} {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -64,5 +83,41 @@ func TestShardEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestNotifyBurstyDeterminism: MMPP sources and notification selection
+// must be reproducible — two runs of the same configuration return
+// bit-identical Results, on both execution kernels (event mode is not
+// bit-comparable to cycle mode, but each kernel must agree with itself).
+func TestNotifyBurstyDeterminism(t *testing.T) {
+	t.Parallel()
+	base := core.DefaultConfig()
+	base.Dims = []int{8, 8}
+	base.Pattern = traffic.Hotspot
+	base.Selection = selection.NotifyLRU
+	base.Burst = &traffic.Burst{OnFrac: 0.3, MeanOn: 100}
+	base.QoS = &core.QoSSpec{HiFrac: 0.2, HiVCs: 1}
+	base.Load = 0.1
+	base.Warmup, base.Measure = 100, 800
+	for _, events := range []bool{false, true} {
+		cfg := base
+		cfg.EventMode = events
+		var want string
+		for rep := 0; rep < 2; rep++ {
+			r, err := core.Run(cfg)
+			if err != nil {
+				t.Fatalf("events=%t rep %d: %v", events, rep, err)
+			}
+			if r.Delivered == 0 {
+				t.Fatalf("events=%t: nothing delivered", events)
+			}
+			got := fmt.Sprintf("%+v", r)
+			if rep == 0 {
+				want = got
+			} else if got != want {
+				t.Errorf("events=%t: reruns diverge:\n got %s\nwant %s", events, got, want)
+			}
+		}
 	}
 }

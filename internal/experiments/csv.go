@@ -190,6 +190,12 @@ func (r Runner) WriteCSV(ctx context.Context, w io.Writer, name string) error {
 			return err
 		}
 		return ScalingCSV(w, rows)
+	case "congestion":
+		rows, err := r.Congestion(ctx)
+		if err != nil {
+			return err
+		}
+		return CongestionCSV(w, rows)
 	}
 	return fmt.Errorf("experiments: no CSV form for %q", name)
 }
@@ -216,6 +222,7 @@ var repCols = map[string][]string{
 	"table4":     {"avg_latency"},
 	"resilience": {"avg_latency", "sat_load", "sat_throughput"},
 	"scaling":    {"sat_load", "sat_throughput", "overdriven_throughput", "cycles_per_sec"},
+	"congestion": {"avg_latency", "ovr_throughput", "sat_load", "sat_throughput"},
 }
 
 // WriteCSVReps writes the experiment's CSV aggregated over reps

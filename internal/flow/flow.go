@@ -37,6 +37,13 @@ type Message struct {
 	// Hops counts router-to-router link traversals, for path-length stats.
 	Hops int
 
+	// Class is the QoS traffic class, fixed at generation: 0 is best-effort
+	// and, when the router reserves VCs (router.Config.ResvVCs), excluded
+	// from the reserved adaptive VCs; higher classes may claim every VC.
+	// Unlike Route/Dateline it is immutable header state, so reading it at
+	// any hop is race-free by construction.
+	Class uint8
+
 	// Route carries the look-ahead candidate set valid at the router the
 	// header flit is traveling toward (the paper's modified header), and
 	// Dateline the per-dimension torus wraparound bits. They are per-hop

@@ -31,15 +31,19 @@ import (
 // must uphold every conservation invariant over arbitrary damage, not
 // just the configurations the golden grids pin, and the event kernel's
 // express machinery must conserve messages and flits over the same
-// degraded topologies it never sees in the timing-pinned tests.
+// degraded topologies it never sees in the timing-pinned tests. The
+// notify axis swaps in the notification selector, whose credit-
+// piggybacked congestion filter must keep every invariant over damaged
+// meshes too (a dead link's port never reports, so its stale level must
+// not trap worms).
 //
 // Run continuously with: go test -run '^$' -fuzz FuzzFaultPlan ./internal/network
 func FuzzFaultPlan(f *testing.F) {
-	f.Add(int64(1), uint8(3), uint8(1), true, false, uint8(1), false)
-	f.Add(int64(2), uint8(0), uint8(0), false, false, uint8(2), true)
-	f.Add(int64(3), uint8(6), uint8(2), true, true, uint8(4), true)
-	f.Add(int64(4), uint8(1), uint8(0), false, true, uint8(3), false)
-	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool, shards uint8, events bool) {
+	f.Add(int64(1), uint8(3), uint8(1), true, false, uint8(1), false, false)
+	f.Add(int64(2), uint8(0), uint8(0), false, false, uint8(2), true, true)
+	f.Add(int64(3), uint8(6), uint8(2), true, true, uint8(4), true, false)
+	f.Add(int64(4), uint8(1), uint8(0), false, true, uint8(3), false, true)
+	f.Fuzz(func(t *testing.T, seed int64, nLinks, nRouters uint8, la, torus bool, shards uint8, events, notify bool) {
 		m := topology.NewMesh(6, 6)
 		if torus {
 			m = topology.NewTorus(5, 5)
@@ -97,6 +101,10 @@ func FuzzFaultPlan(f *testing.F) {
 				t.Skip("link-only plan disconnects the network")
 			}
 		}
+		sel := selection.LRU
+		if notify {
+			sel = selection.NotifyLRU
+		}
 		cfg := Config{
 			Mesh:      m,
 			Router:    router.Config{NumVCs: 4, BufDepth: 20, OutDepth: 4, LookAhead: la},
@@ -105,7 +113,7 @@ func FuzzFaultPlan(f *testing.F) {
 			Class:     cls,
 			Table:     table.KindES,
 			Faults:    linkPlan,
-			Selection: selection.LRU,
+			Selection: sel,
 			Trace:     trace,
 			MsgLen:    20,
 			Seed:      seed,

@@ -14,7 +14,13 @@ type LinkStat struct {
 	// Flits is the cumulative count of flits sent through the port.
 	Flits uint64
 	// Utilization is Flits divided by elapsed cycles (1.0 = the link
-	// carried a flit every cycle).
+	// carried a flit every cycle). NOTE: these are whole-run cumulative
+	// figures — the denominator is every cycle the network has simulated,
+	// warmup and drain included, so a long warmup dilutes them. Consumers
+	// needing the utilization of a specific window (congestion thresholds,
+	// power models) must take a LinkSnapshot at the window's start and
+	// read LinkStatsSince, which subtracts the snapshot from both counters
+	// and denominator.
 	Utilization float64
 }
 
@@ -23,8 +29,43 @@ type LinkStat struct {
 // result — "unbalanced congestion at cluster-boundary links" — is directly
 // observable in the spread of these values.
 func (n *Network) LinkStats() []LinkStat {
-	elapsed := float64(n.now)
-	if elapsed == 0 {
+	return n.linkStats(LinkSnapshot{})
+}
+
+// LinkSnapshot freezes the cumulative link counters at one cycle so a
+// later LinkStatsSince can report the traffic of just the window between
+// the two calls.
+type LinkSnapshot struct {
+	at    int64
+	flits map[linkKey]uint64
+}
+
+type linkKey struct {
+	node topology.NodeID
+	port topology.Port
+}
+
+// SnapshotLinks captures the current cumulative counters. Taking one at
+// the end of warmup and reading LinkStatsSince after the measured phase
+// yields measured-window utilizations undiluted by warmup idle time.
+func (n *Network) SnapshotLinks() LinkSnapshot {
+	snap := LinkSnapshot{at: n.now, flits: make(map[linkKey]uint64)}
+	for _, s := range n.linkStats(LinkSnapshot{}) {
+		snap.flits[linkKey{s.From, s.Port}] = s.Flits
+	}
+	return snap
+}
+
+// LinkStatsSince returns per-link stats over the window from the snapshot
+// to now: Flits counts only the window's traversals and Utilization
+// divides by the window's span instead of the whole run.
+func (n *Network) LinkStatsSince(snap LinkSnapshot) []LinkStat {
+	return n.linkStats(snap)
+}
+
+func (n *Network) linkStats(snap LinkSnapshot) []LinkStat {
+	elapsed := float64(n.now - snap.at)
+	if elapsed <= 0 {
 		elapsed = 1
 	}
 	var out []LinkStat
@@ -37,6 +78,9 @@ func (n *Network) LinkStats() []LinkStat {
 				}
 			}
 			f := r.UseCount(port)
+			if snap.flits != nil {
+				f -= snap.flits[linkKey{topology.NodeID(id), port}]
+			}
 			out = append(out, LinkStat{
 				From:        topology.NodeID(id),
 				Port:        port,

@@ -55,6 +55,14 @@ type Config struct {
 	Trace *traffic.Trace
 	// MsgRate is the per-node message generation rate (messages/cycle).
 	MsgRate float64
+	// Burst, when non-nil, replaces each node's stationary Poisson source
+	// with a two-state MMPP on/off source at the same mean rate (see
+	// traffic.Burst). Trace workloads ignore it.
+	Burst *traffic.Burst
+	// QoSHiFrac is the probability a generated message is high-class
+	// (flow.Message.Class 1); combined with Router.ResvVCs it reserves
+	// adaptive VCs for that class. 0 keeps all traffic best-effort.
+	QoSHiFrac float64
 	// MsgLen is the message length in flits.
 	MsgLen int
 	// Seed makes runs reproducible.
@@ -113,6 +121,14 @@ func (c Config) Validate() error {
 	if c.MsgRate < 0 {
 		return fmt.Errorf("network: negative MsgRate")
 	}
+	if c.Burst != nil {
+		if err := c.Burst.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.QoSHiFrac < 0 || c.QoSHiFrac > 1 {
+		return fmt.Errorf("network: QoSHiFrac %g outside [0,1]", c.QoSHiFrac)
+	}
 	return nil
 }
 
@@ -141,6 +157,13 @@ type creditEvent struct {
 	port topology.Port
 	vc   flow.VCID
 	kind uint8
+	// cong piggybacks the credit issuer's quantized congestion level
+	// (router.CongestionLevel) on creditToRouter events when a
+	// notification-aware selector is configured; 0 otherwise. It is read
+	// while the issuing router's own shard steps (phase A) and delivered
+	// while the receiving router's shard drains credits, so it crosses the
+	// barrier exactly like the credit and stays shard-invariant.
+	cong uint8
 }
 
 const (
@@ -251,6 +274,12 @@ type Network struct {
 	nextMsg   flow.MessageID
 	delivered int64 // total messages delivered
 	onArrive  func(msg *flow.Message, now int64)
+
+	// notify is set when the configured selector consumes congestion
+	// notifications: credits then piggyback the issuer's quantized
+	// congestion level. Off (the default for every local heuristic) the
+	// credit path is byte-identical to the pre-notification kernel.
+	notify bool
 }
 
 // link is one direction of a wired channel: the node and input port that
@@ -287,6 +316,7 @@ func New(cfg Config) *Network {
 		m:       m,
 		routers: make([]*router.Router, m.N()),
 		nis:     make([]*ni, m.N()),
+		notify:  cfg.Selection.IsNotify(),
 	}
 	bounds := shardBounds(m, cfg.Shards)
 	n.shards = make([]*shard, len(bounds)-1)
@@ -410,6 +440,13 @@ func (n *Network) creditFunc(node topology.NodeID) router.CreditFunc {
 			panic(fmt.Sprintf("network: credit out port %d with no link", p))
 		}
 		e := creditEvent{node: l.node, port: l.port, vc: v, n: 1}
+		if n.notify {
+			// Sample the issuing router's congestion at credit time: the
+			// closure runs during this node's own phase-A step, so the
+			// read is shard-local and the run stays bit-identical for any
+			// shard count.
+			e.cong = n.routers[node].CongestionLevel()
+		}
 		if d := n.nodeShard[l.node]; int(d) == src.idx {
 			src.credits.schedule(at, e)
 		} else {
@@ -455,6 +492,9 @@ func (n *Network) creditNFunc(node topology.NodeID) router.CreditNFunc {
 			panic(fmt.Sprintf("network: batched credit out port %d with no link", p))
 		}
 		e := creditEvent{node: l.node, port: l.port, vc: v, n: int32(count)}
+		if n.notify {
+			e.cong = n.routers[node].CongestionLevel()
+		}
 		if d := n.nodeShard[l.node]; int(d) == src.idx {
 			src.credits.schedule(at, e)
 		} else {

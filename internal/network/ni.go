@@ -28,7 +28,7 @@ type ni struct {
 	sh    *shard // the shard owning this NI's node band
 	node  topology.NodeID
 	r     *router.Router
-	inj   *traffic.Injector
+	inj   traffic.Source
 	trace *traffic.TraceCursor
 
 	queue   []*flow.Message
@@ -40,12 +40,18 @@ type ni struct {
 
 func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
 	v := n.cfg.Router.NumVCs
+	var src traffic.Source
+	if n.cfg.Burst != nil {
+		src = traffic.NewMMPP(n.cfg.MsgRate, *n.cfg.Burst, n.cfg.Seed+int64(node))
+	} else {
+		src = traffic.NewInjector(n.cfg.MsgRate, n.cfg.Seed+int64(node))
+	}
 	x := &ni{
 		net:     n,
 		sh:      n.shards[n.nodeShard[node]],
 		node:    node,
 		r:       r,
-		inj:     traffic.NewInjector(n.cfg.MsgRate, n.cfg.Seed+int64(node)),
+		inj:     src,
 		streams: make([]stream, v),
 		credits: make([]int, v),
 	}
@@ -138,6 +144,11 @@ func (x *ni) tick(now int64) {
 			msg.Dst = dst
 			msg.Length = x.net.cfg.MsgLen
 			msg.CreateTime = now
+			// QoS class draw, gated so runs without QoS consume exactly
+			// the same random stream as before.
+			if hi := x.net.cfg.QoSHiFrac; hi > 0 && x.inj.RNG().Float64() < hi {
+				msg.Class = 1
+			}
 			x.sh.created = append(x.sh.created, msg)
 			x.queue = append(x.queue, msg)
 		}

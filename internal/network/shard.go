@@ -127,6 +127,12 @@ func (n *Network) stepShard(sh *shard, now int64) {
 		switch e.kind {
 		case creditToRouter:
 			n.routers[e.node].AcceptCredits(e.port, e.vc, int(e.n))
+			if n.notify {
+				// Deliver the piggybacked congestion notification with
+				// the credit: the per-port register updates in credit
+				// order, which the barrier protocol preserves.
+				n.routers[e.node].NoteCongestion(e.port, e.cong)
+			}
 		case creditToNI:
 			n.nis[e.node].acceptCredit(e.vc, int(e.n))
 		default:

@@ -45,6 +45,11 @@ type Config struct {
 	// is wormhole switching (the paper's mode). Requires message length
 	// <= BufDepth.
 	CutThrough bool
+	// ResvVCs reserves the highest-numbered adaptive VCs of every physical
+	// channel for high-class (QoS) messages: class-0 traffic may not claim
+	// them. Escape VCs are the lowest-numbered VCs and are never reserved,
+	// so every class keeps a deadlock-free path. 0 disables reservation.
+	ResvVCs int
 	// EscapeCommit enforces the stay-on-escape discipline: once a message
 	// claims an escape VC it uses only escape VCs for the rest of its
 	// journey. Duato's protocol normally lets messages return to adaptive
@@ -75,6 +80,9 @@ func (c Config) Validate() error {
 	}
 	if c.OutDepth < 1 {
 		return fmt.Errorf("router: OutDepth %d < 1", c.OutDepth)
+	}
+	if c.ResvVCs < 0 || c.ResvVCs >= c.NumVCs {
+		return fmt.Errorf("router: ResvVCs %d out of range [0,%d)", c.ResvVCs, c.NumVCs)
 	}
 	return nil
 }
@@ -158,6 +166,10 @@ type portMeta struct {
 	useCount uint64
 	lastUsed int64
 	busyVCs  int
+	// remoteCong is the latest quantized congestion level the downstream
+	// router piggybacked on a credit (see NoteCongestion); it stays 0
+	// unless a notification-aware selector is configured.
+	remoteCong uint8
 }
 
 // Router is one PROUD / LA-PROUD router instance.
@@ -205,6 +217,9 @@ type Router struct {
 
 	// occupancy tracks buffered flits for quiescence checks.
 	occupancy int
+	// resvMask is the set of adaptive VCs reserved for high-class
+	// messages (the top Config.ResvVCs ids); zero when reservation is off.
+	resvMask flow.VCMask
 	// expressOut counts, per output port, the per-flit express worms
 	// currently streaming through it; [linkBusyFrom, linkBusyUntil] is the
 	// send-cycle window an admitted express transit (worm event or
@@ -273,6 +288,9 @@ func New(id topology.NodeID, m *topology.Mesh, cfg Config, tbl table.Table, sel 
 	}
 	for p := range r.meta {
 		r.meta[p].lastUsed = -1
+	}
+	if cfg.ResvVCs > 0 {
+		r.resvMask = flow.MaskAll(cfg.NumVCs) &^ flow.MaskAll(cfg.NumVCs-cfg.ResvVCs)
 	}
 	r.expressOut = make([]int8, np)
 	r.linkBusyFrom = make([]int64, np)
@@ -491,7 +509,7 @@ func (r *Router) expressAdmit(msg *flow.Message, now int64) (expressClaim, bool)
 	var eligible uint8
 	for i := 0; !committed && i < rs.Len(); i++ {
 		c := rs.At(i)
-		if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, c.Adaptive, needCredits) >= 0 {
+		if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, r.adaptiveFor(c.Adaptive, msg.Class), needCredits) >= 0 {
 			eligible |= 1 << i
 		}
 	}
@@ -518,7 +536,7 @@ func (r *Router) expressAdmit(msg *flow.Message, now int64) (expressClaim, bool)
 		panic("router: single candidate not eligible")
 	}
 	cand := rs.At(choice)
-	mask := cand.Adaptive
+	mask := r.adaptiveFor(cand.Adaptive, msg.Class)
 	if escape {
 		mask = cand.Escape
 	}
@@ -738,10 +756,11 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	// to the escape class (see Config.EscapeCommit) skips the adaptive
 	// pass entirely.
 	committed := r.cfg.EscapeCommit && ivc.buf.peek().Msg.EscapeCommitted
+	class := ivc.buf.peek().Msg.Class
 	var eligible uint8
 	for i := 0; !committed && i < rs.Len(); i++ {
 		c := rs.At(i)
-		if r.freeVC(c.Port, c.Adaptive, needCredits) >= 0 {
+		if r.freeVC(c.Port, r.adaptiveFor(c.Adaptive, class), needCredits) >= 0 {
 			eligible |= 1 << i
 		}
 	}
@@ -768,7 +787,7 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 		panic("router: single candidate not eligible")
 	}
 	cand := rs.At(choice)
-	mask := cand.Adaptive
+	mask := r.adaptiveFor(cand.Adaptive, class)
 	if escape {
 		mask = cand.Escape
 	}
@@ -800,6 +819,17 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 			msg.Route = r.tbl.LookupAt(cand.Port, msg.Dst, next)
 		}
 	}
+}
+
+// adaptiveFor restricts a candidate's adaptive mask by message class:
+// class-0 traffic is excluded from the VCs reserved for high-class
+// messages. Escape masks are never restricted — every class keeps the
+// deadlock-free path, so reservation affects performance, not liveness.
+func (r *Router) adaptiveFor(mask flow.VCMask, class uint8) flow.VCMask {
+	if class == 0 {
+		return mask &^ r.resvMask
+	}
+	return mask
 }
 
 // freeVC returns the lowest claimable VC in mask on port p, or -1. A VC
@@ -1009,6 +1039,32 @@ func (r *Router) UseCount(p topology.Port) uint64 { return r.meta[p].useCount }
 
 // LastUsed implements selection.PortView.
 func (r *Router) LastUsed(p topology.Port) int64 { return r.meta[p].lastUsed }
+
+// RemoteCongestion implements selection.PortView: the latest congestion
+// level the downstream router on port p piggybacked on a credit.
+func (r *Router) RemoteCongestion(p topology.Port) uint8 { return r.meta[p].remoteCong }
+
+// NoteCongestion records the quantized congestion level carried by a
+// credit arriving on output port p. The network calls it while draining
+// credit events, so the signal crosses the phase-B barrier exactly like
+// the credit itself and stays shard-invariant.
+func (r *Router) NoteCongestion(p topology.Port, level uint8) {
+	r.meta[p].remoteCong = level
+}
+
+// CongestionLevel quantizes this router's buffered-flit occupancy into the
+// 2-bit signal piggybacked on credits: 0 (idle) through 3 (saturated),
+// scaled against one port's worth of input buffering (NumVCs*BufDepth) —
+// a router backing up past a full port of storage is congested however
+// the flits are distributed. The network reads it during the owning
+// shard's own phase-A step, so it never races across shards.
+func (r *Router) CongestionLevel() uint8 {
+	q := 4 * r.occupancy / (r.cfg.NumVCs * r.cfg.BufDepth)
+	if q > 3 {
+		q = 3
+	}
+	return uint8(q)
+}
 
 // Occupancy returns the number of flits buffered in the router, used by
 // the network's quiescence and progress checks.

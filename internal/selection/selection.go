@@ -15,6 +15,28 @@
 // router and are exposed through the PortView interface, mirroring the
 // hardware split between the selection logic and the per-port counters it
 // reads (section 4.1 discusses the counter costs of each policy).
+//
+// # Notification selection
+//
+// The Notify* family (NotifyLRU, NotifyLFU, NotifyMaxCredit) extends the
+// local heuristics with a congestion signal the local counters cannot
+// see: each router quantizes its input-buffer occupancy to a 2-bit level
+// and piggybacks it on the credits it returns upstream, so the upstream
+// router maintains a per-output-port estimate of downstream congestion
+// (PortView.RemoteCongestion) at zero extra traffic. A Notify selector
+// first restricts the candidate ports to those with the minimum remote
+// level, then breaks ties with its inner local heuristic — on a healthy
+// network where every level reads equal, it degenerates to the local
+// policy exactly.
+//
+// Determinism: the piggybacked levels ride the credit path, which crosses
+// the sharded kernel's phase-B barrier like any other credit, so
+// notification runs stay bit-identical across shard counts (pinned by the
+// shard-equivalence tests). The signal is stale by the credit round-trip
+// — that lag is part of the model, not noise, and a fixed configuration
+// reproduces bit-for-bit. Dead links never return credits, so a failed
+// port's level freezes at its last (or zero) value; the routing layer has
+// already removed such ports from the candidate set.
 package selection
 
 import (
@@ -40,6 +62,11 @@ type PortView interface {
 	// LastUsed returns the most recent cycle a flit was sent through
 	// output port p, or -1 if never — LRU's age stamp.
 	LastUsed(p topology.Port) int64
+	// RemoteCongestion returns the latest quantized congestion level
+	// (0 = idle .. 3 = saturated) the downstream router on output port p
+	// piggybacked on its credits, or 0 if none arrived yet — the Notify*
+	// policies' remote signal. Local ports always read 0.
+	RemoteCongestion(p topology.Port) uint8
 }
 
 // Selector picks one candidate among the currently usable alternatives.
@@ -67,11 +94,29 @@ const (
 	MaxCredit
 	// Random picks uniformly among eligible candidates.
 	Random
+	// NotifyLRU restricts candidates to the least-congested downstream
+	// quadrant (per the piggybacked notification signal), breaking ties
+	// with LRU.
+	NotifyLRU
+	// NotifyLFU is the notification filter with LFU tie-breaking.
+	NotifyLFU
+	// NotifyMaxCredit is the notification filter with MAX-CREDIT
+	// tie-breaking.
+	NotifyMaxCredit
 )
 
 // Kinds lists every selection policy, in the order Fig. 6 plots them
-// (plus Random).
-var Kinds = []Kind{StaticXY, MinMux, LFU, LRU, MaxCredit, Random}
+// (plus Random and the notification-driven family).
+var Kinds = []Kind{StaticXY, MinMux, LFU, LRU, MaxCredit, Random,
+	NotifyLRU, NotifyLFU, NotifyMaxCredit}
+
+// IsNotify reports whether the policy consumes the piggybacked
+// remote-congestion signal; the network only computes and delivers
+// notifications when the configured selector needs them, so goldens with
+// local policies stay byte-identical.
+func (k Kind) IsNotify() bool {
+	return k == NotifyLRU || k == NotifyLFU || k == NotifyMaxCredit
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -87,6 +132,12 @@ func (k Kind) String() string {
 		return "max-credit"
 	case Random:
 		return "random"
+	case NotifyLRU:
+		return "notify-lru"
+	case NotifyLFU:
+		return "notify-lfu"
+	case NotifyMaxCredit:
+		return "notify-max-credit"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -118,6 +169,12 @@ func New(k Kind, seed int64) Selector {
 		return maxCredit{}
 	case Random:
 		return &random{rng: rand.New(rand.NewSource(seed))}
+	case NotifyLRU:
+		return notify{inner: lru{}, name: "notify-lru"}
+	case NotifyLFU:
+		return notify{inner: lfu{}, name: "notify-lfu"}
+	case NotifyMaxCredit:
+		return notify{inner: maxCredit{}, name: "notify-max-credit"}
 	}
 	panic("selection: unknown kind")
 }
@@ -224,4 +281,36 @@ func (r *random) Select(_ PortView, rs flow.RouteSet, eligible uint8) int {
 		panic("selection: no eligible candidate")
 	}
 	return idx[r.rng.Intn(n)]
+}
+
+// notify is the congestion-notification family (Rocher-Gonzalez-style
+// adaptive-routing notifications): each candidate is scored by the
+// quantized congestion level its downstream router piggybacked on credits,
+// the eligible set is restricted to the minimum level, and the wrapped
+// local heuristic breaks ties among the survivors. With no notifications
+// yet (all levels 0) this degenerates exactly to the local heuristic.
+type notify struct {
+	inner Selector
+	name  string
+}
+
+func (s notify) Name() string { return s.name }
+
+func (s notify) Select(v PortView, rs flow.RouteSet, eligible uint8) int {
+	minLevel := uint8(255)
+	for i := 0; i < rs.Len(); i++ {
+		if eligible&(1<<i) == 0 {
+			continue
+		}
+		if l := v.RemoteCongestion(rs.At(i).Port); l < minLevel {
+			minLevel = l
+		}
+	}
+	filtered := uint8(0)
+	for i := 0; i < rs.Len(); i++ {
+		if eligible&(1<<i) != 0 && v.RemoteCongestion(rs.At(i).Port) == minLevel {
+			filtered |= 1 << i
+		}
+	}
+	return s.inner.Select(v, rs, filtered)
 }

@@ -13,7 +13,10 @@ type fakeView struct {
 	credits map[topology.Port]int
 	use     map[topology.Port]uint64
 	last    map[topology.Port]int64
+	cong    map[topology.Port]uint8
 }
+
+func (f *fakeView) RemoteCongestion(p topology.Port) uint8 { return f.cong[p] }
 
 func (f *fakeView) BusyVCs(p topology.Port) int { return f.busy[p] }
 func (f *fakeView) Credits(p topology.Port) int { return f.credits[p] }
@@ -140,6 +143,59 @@ func TestAllSelectorsRespectEligibility(t *testing.T) {
 		// (port 3) is eligible.
 		if got := s.Select(v, rs, 0b10); got != 1 {
 			t.Errorf("%s ignored eligibility: got %d", s.Name(), got)
+		}
+	}
+}
+
+func TestNotifyPrefersUncongestedQuadrant(t *testing.T) {
+	for _, k := range []Kind{NotifyLRU, NotifyLFU, NotifyMaxCredit} {
+		s := New(k, 0)
+		// Port 1 scores best on every local metric but its downstream
+		// quadrant is congested; the filter must steer to port 3.
+		v := &fakeView{
+			busy:    map[topology.Port]int{1: 0, 3: 9},
+			credits: map[topology.Port]int{1: 99, 3: 0},
+			use:     map[topology.Port]uint64{1: 0, 3: 999},
+			last:    map[topology.Port]int64{1: -1, 3: 999},
+			cong:    map[topology.Port]uint8{1: 3, 3: 1},
+		}
+		if got := s.Select(v, twoCands(), 0b11); got != 1 {
+			t.Errorf("%s: got %d want 1 (port 1 congested downstream)", s.Name(), got)
+		}
+		// Eligibility still dominates: a congested port must be chosen
+		// when it is the only eligible one.
+		if got := s.Select(v, twoCands(), 0b01); got != 0 {
+			t.Errorf("%s: got %d want 0 (only congested port eligible)", s.Name(), got)
+		}
+	}
+}
+
+func TestNotifyFallsBackToInnerOnTies(t *testing.T) {
+	// Equal congestion levels (including the all-zero no-signal state)
+	// must delegate exactly to the wrapped local heuristic.
+	v := &fakeView{
+		last:    map[topology.Port]int64{1: 900, 3: 100},
+		use:     map[topology.Port]uint64{1: 100, 3: 40},
+		credits: map[topology.Port]int{1: 10, 3: 70},
+	}
+	for _, k := range []Kind{NotifyLRU, NotifyLFU, NotifyMaxCredit} {
+		if got := New(k, 0).Select(v, twoCands(), 0b11); got != 1 {
+			t.Errorf("%s with no signal: got %d want 1 (inner heuristic)", k, got)
+		}
+	}
+	v.cong = map[topology.Port]uint8{1: 2, 3: 2}
+	for _, k := range []Kind{NotifyLRU, NotifyLFU, NotifyMaxCredit} {
+		if got := New(k, 0).Select(v, twoCands(), 0b11); got != 1 {
+			t.Errorf("%s with tied signal: got %d want 1 (inner heuristic)", k, got)
+		}
+	}
+}
+
+func TestIsNotify(t *testing.T) {
+	for _, k := range Kinds {
+		want := k == NotifyLRU || k == NotifyLFU || k == NotifyMaxCredit
+		if k.IsNotify() != want {
+			t.Errorf("%s.IsNotify() = %v want %v", k, k.IsNotify(), want)
 		}
 	}
 }

@@ -7,6 +7,29 @@
 // Loads are specified in the paper's normalized form: load 1.0 is the
 // per-node flit injection rate that saturates the network bisection under
 // uniform traffic (0.25 flits/node/cycle on the 16x16 mesh).
+//
+// # Bursty sources
+//
+// The stationary Poisson source can be replaced per run by a two-state
+// MMPP on/off process (Burst, NewMMPP): exponentially-distributed ON
+// periods of Poisson arrivals at rate/OnFrac alternate with silent OFF
+// periods, so the long-run mean rate still equals the configured load
+// while arrivals cluster into bursts. OnFrac is the long-run fraction of
+// time spent ON (1 degenerates to plain Poisson); MeanOn sets the burst
+// time scale in cycles. Both source types implement Source with a
+// precomputed next-arrival time (NextAt never draws from the stream), so
+// the NI wake heap and idle-cycle fast-forward work unchanged, and both
+// draw from the same cached per-seed replica streams — runs are
+// deterministic and bit-identical across shard counts for either source.
+//
+// # Hotspot semantics
+//
+// Hotspot sends HotFrac of each node's messages to one hot node and draws
+// the background remainder uniformly over all other nodes *excluding* the
+// hot node, so the hot node's received share is exactly HotFrac plus its
+// own silence — not HotFrac diluted by a background draw that could also
+// land on it. The exclusion preserves the RNG draw count (one background
+// draw per message), keeping streams aligned with earlier releases.
 package traffic
 
 import (
@@ -241,8 +264,34 @@ func (h hotspot) Dest(src topology.NodeID, rng *rand.Rand) (topology.NodeID, boo
 	if src != h.hot && rng.Float64() < h.frac {
 		return h.hot, true
 	}
-	d := topology.NodeID(rng.Intn(h.n - 1))
-	if d >= src {
+	// Background traffic is uniform over every node except the source and
+	// the hot node. Drawing over all other nodes here would hand the hot
+	// node an extra (1-frac)/(n-1) of background traffic on top of its
+	// dedicated fraction, so the effective hotspot share would not be frac.
+	// The draw count stays one Intn per call (plus the one Float64 above
+	// for non-hot sources), so the stream stays deterministic per seed.
+	if src == h.hot {
+		d := topology.NodeID(rng.Intn(h.n - 1))
+		if d >= src {
+			d++
+		}
+		return d, true
+	}
+	if h.n < 3 {
+		// Two nodes: the only possible background destination is the hot
+		// node itself, so non-hotspot traffic falls silent (like a
+		// transpose diagonal).
+		return src, false
+	}
+	d := topology.NodeID(rng.Intn(h.n - 2))
+	lo, hi := src, h.hot
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if d >= lo {
+		d++
+	}
+	if d >= hi {
 		d++
 	}
 	return d, true
@@ -258,6 +307,24 @@ func (nb neighbor) Dest(src topology.NodeID, _ *rand.Rand) (topology.NodeID, boo
 		return src, false
 	}
 	return d, true
+}
+
+// Source is one node's message-generation process: the stationary Poisson
+// Injector or the bursty MMPP on/off source. The NI polls Due each active
+// cycle and parks on NextAt between arrivals, so both methods must agree:
+// NextAt is the first cycle for which Due would report a message, and
+// peeking never advances the process.
+type Source interface {
+	// RNG exposes the source's random stream for destination (and QoS
+	// class) draws, so one node's process stays a single deterministic
+	// stream.
+	RNG() *rand.Rand
+	// NextAt returns the cycle of the next arrival, or false when the
+	// process never fires again. Peeking does not advance the process.
+	NextAt() (int64, bool)
+	// Due reports how many messages fire at cycle now, advancing the
+	// process.
+	Due(now int64) int
 }
 
 // Injector drives one node's Poisson message-generation process.
@@ -304,6 +371,125 @@ func (inj *Injector) Due(now int64) int {
 	for inj.next < float64(now+1) {
 		n++
 		inj.next += inj.rng.ExpFloat64() / inj.rate
+	}
+	return n
+}
+
+// Burst parameterizes the two-state MMPP on/off source: a Markov-
+// modulated Poisson process that alternates exponentially-distributed ON
+// periods (Poisson arrivals at rate/OnFrac) with silent OFF periods, so
+// the long-run mean rate equals the configured rate while arrivals cluster
+// into bursts. Smaller OnFrac means burstier traffic at the same offered
+// load; MeanOn sets the burst time scale.
+type Burst struct {
+	// OnFrac is the long-run fraction of time the source spends in the ON
+	// state, in (0, 1]. OnFrac 1 degenerates to the stationary Poisson
+	// source.
+	OnFrac float64
+	// MeanOn is the mean ON-period duration in cycles (> 0). The mean OFF
+	// period follows as MeanOn*(1-OnFrac)/OnFrac.
+	MeanOn float64
+}
+
+// Validate reports parameter errors.
+func (b Burst) Validate() error {
+	if !(b.OnFrac > 0 && b.OnFrac <= 1) {
+		return fmt.Errorf("traffic: Burst.OnFrac %g outside (0, 1]", b.OnFrac)
+	}
+	if !(b.MeanOn > 0) {
+		return fmt.Errorf("traffic: Burst.MeanOn %g must be positive", b.MeanOn)
+	}
+	return nil
+}
+
+// MMPP is the bursty two-state source. It implements Source with the same
+// peek/advance contract as Injector: the next arrival is always
+// precomputed, so NextAt never draws from the stream.
+type MMPP struct {
+	onRate float64 // arrival rate while ON (messages/cycle)
+	muOn   float64 // mean ON sojourn, cycles
+	muOff  float64 // mean OFF sojourn, cycles
+	rng    *rand.Rand
+	// cur is the process time the generator has advanced to; on/end are
+	// the current modulating state and its end time; next is the
+	// precomputed next arrival.
+	cur, end float64
+	on       bool
+	next     float64
+}
+
+// NewMMPP returns an MMPP source with long-run mean rate `rate`
+// (messages/cycle) under the given burst parameters. A rate of zero never
+// fires. The random stream is the same cached-seed replica Injector uses,
+// so swapping source types never perturbs other nodes' streams.
+func NewMMPP(rate float64, b Burst, seed int64) *MMPP {
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	s := &MMPP{
+		onRate: rate / b.OnFrac,
+		muOn:   b.MeanOn,
+		muOff:  b.MeanOn * (1 - b.OnFrac) / b.OnFrac,
+		rng:    rand.New(newFibSource(seed)),
+		on:     true,
+	}
+	if rate > 0 {
+		s.end = s.rng.ExpFloat64() * s.muOn
+		s.advance()
+	}
+	return s
+}
+
+// advance precomputes the next arrival time, walking the modulating chain
+// across state boundaries. Truncating an exponential inter-arrival draw at
+// the ON-period boundary and redrawing in the next ON period is exact by
+// memorylessness.
+func (s *MMPP) advance() {
+	for {
+		if s.on {
+			gap := s.rng.ExpFloat64() / s.onRate
+			if s.cur+gap <= s.end {
+				s.cur += gap
+				s.next = s.cur
+				return
+			}
+			s.cur = s.end
+			s.on = false
+			if s.muOff <= 0 {
+				// OnFrac 1: a single everlasting ON period.
+				s.on = true
+				s.end = s.cur + s.rng.ExpFloat64()*s.muOn
+				continue
+			}
+			s.end = s.cur + s.rng.ExpFloat64()*s.muOff
+		} else {
+			s.cur = s.end
+			s.on = true
+			s.end = s.cur + s.rng.ExpFloat64()*s.muOn
+		}
+	}
+}
+
+// RNG implements Source.
+func (s *MMPP) RNG() *rand.Rand { return s.rng }
+
+// NextAt implements Source: the cycle of the precomputed next arrival.
+func (s *MMPP) NextAt() (int64, bool) {
+	if s.onRate <= 0 {
+		return 0, false
+	}
+	return int64(s.next), true
+}
+
+// Due implements Source.
+func (s *MMPP) Due(now int64) int {
+	if s.onRate <= 0 {
+		return 0
+	}
+	n := 0
+	for s.next < float64(now+1) {
+		n++
+		s.advance()
 	}
 	return n
 }

@@ -189,6 +189,203 @@ func TestKindRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHotspotBackgroundExcludesHotNode pins the bugfix: background traffic
+// must never land on the hot node (its only inbound bias is the direct
+// frac draw), and the hot node's own traffic is uniform over the rest.
+func TestHotspotBackgroundExcludesHotNode(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	p := New(Hotspot, m)
+	hot := topology.NodeID(32)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		src := topology.NodeID(rng.Intn(m.N()))
+		d, ok := p.Dest(src, rng)
+		if !ok {
+			t.Fatal("hotspot must always send")
+		}
+		if d == src {
+			t.Fatalf("node %d sent to itself", src)
+		}
+		if src == hot && d == hot {
+			t.Fatal("hot node sent to itself")
+		}
+	}
+	// From a non-hot source, every hit on the hot node must come from the
+	// direct draw: over many trials the hot fraction must match frac
+	// closely, with no uniform-background leakage inflating it.
+	hits := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		d, _ := p.Dest(3, rng)
+		if d == hot {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.1) > 0.005 {
+		t.Errorf("hot fraction = %v, want 0.1 (background must exclude hot node)", frac)
+	}
+}
+
+// TestHotspotReceivedDistribution is the chi-square-style regression test:
+// with the fix, each non-hot node receives an equal background share and
+// the hot node receives exactly the direct frac traffic.
+func TestHotspotReceivedDistribution(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	p := New(Hotspot, m)
+	n := m.N()
+	hot := topology.NodeID(32)
+	rng := rand.New(rand.NewSource(4))
+	recv := make([]int, n)
+	const rounds = 4000 // every node sends once per round
+	total := 0
+	for r := 0; r < rounds; r++ {
+		for src := topology.NodeID(0); int(src) < n; src++ {
+			d, ok := p.Dest(src, rng)
+			if !ok {
+				t.Fatal("hotspot must always send")
+			}
+			recv[d]++
+			total++
+		}
+	}
+	// Expected receive probability per destination, summed over sources:
+	// hot: 63 sources * 0.1 direct. Non-hot j: background share
+	// 0.9/(n-2) from each of the 62 non-hot sources != j, plus 1/(n-1)
+	// from the hot node.
+	expHot := float64(n-1) * 0.1 * float64(rounds)
+	expBg := (float64(n-2)*0.9/float64(n-2) + 1.0/float64(n-1)) * float64(rounds)
+	chi2 := 0.0
+	for id, got := range recv {
+		exp := expBg
+		if topology.NodeID(id) == hot {
+			exp = expHot
+		}
+		d := float64(got) - exp
+		chi2 += d * d / exp
+	}
+	// 63 degrees of freedom; 99.9th percentile ~ 103. Generous bound so
+	// the test only fails on a real distribution change, not on noise.
+	if chi2 > 120 {
+		t.Errorf("chi-square = %.1f against fixed model (df=63); received distribution drifted", chi2)
+	}
+}
+
+func TestHotspotTwoNodeGuard(t *testing.T) {
+	m := topology.NewMesh(2) // 1-D, two nodes
+	p := New(Hotspot, m)
+	rng := rand.New(rand.NewSource(5))
+	// Hot node is 1 (N()/2). Node 0 either hits the direct draw or falls
+	// silent; it must never panic or send to itself.
+	for i := 0; i < 1000; i++ {
+		if d, ok := p.Dest(0, rng); ok && d != 1 {
+			t.Fatalf("2-node hotspot sent to %d", d)
+		}
+		if d, ok := p.Dest(1, rng); ok && d != 0 {
+			t.Fatalf("2-node hot source sent to %d", d)
+		}
+	}
+}
+
+func TestMMPPMeanRate(t *testing.T) {
+	src := NewMMPP(0.05, Burst{OnFrac: 0.25, MeanOn: 100}, 42)
+	total := 0
+	const cycles = 400000
+	for c := int64(0); c < cycles; c++ {
+		total += src.Due(c)
+	}
+	got := float64(total) / cycles
+	if math.Abs(got-0.05) > 0.004 {
+		t.Errorf("measured mean rate %v want 0.05", got)
+	}
+}
+
+// TestMMPPBurstier checks the point of the source: at the same mean rate,
+// arrivals cluster. The variance of per-window counts must exceed the
+// Poisson variance (index of dispersion > 1).
+func TestMMPPBurstier(t *testing.T) {
+	src := NewMMPP(0.05, Burst{OnFrac: 0.2, MeanOn: 200}, 9)
+	const window, nWin = 100, 2000
+	counts := make([]float64, nWin)
+	for w := 0; w < nWin; w++ {
+		c := 0
+		for i := 0; i < window; i++ {
+			c += src.Due(int64(w*window + i))
+		}
+		counts[w] = float64(c)
+	}
+	var mean, m2 float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= nWin
+	for _, c := range counts {
+		m2 += (c - mean) * (c - mean)
+	}
+	varc := m2 / nWin
+	if varc/mean < 1.5 {
+		t.Errorf("index of dispersion %v; MMPP should be markedly burstier than Poisson (1.0)", varc/mean)
+	}
+}
+
+func TestMMPPNextAtMatchesDue(t *testing.T) {
+	a := NewMMPP(0.02, Burst{OnFrac: 0.3, MeanOn: 50}, 11)
+	b := NewMMPP(0.02, Burst{OnFrac: 0.3, MeanOn: 50}, 11)
+	for c := int64(0); c < 20000; c++ {
+		next, ok := a.NextAt()
+		if !ok {
+			t.Fatal("positive-rate MMPP reported no next arrival")
+		}
+		n := a.Due(c)
+		if next <= c && n == 0 {
+			t.Fatalf("NextAt=%d at cycle %d but Due fired nothing", next, c)
+		}
+		if next > c && n != 0 {
+			t.Fatalf("NextAt=%d at cycle %d but Due fired %d", next, c, n)
+		}
+		if n != b.Due(c) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMMPPZeroRate(t *testing.T) {
+	src := NewMMPP(0, Burst{OnFrac: 0.5, MeanOn: 10}, 1)
+	if _, ok := src.NextAt(); ok {
+		t.Error("zero-rate MMPP reported a next arrival")
+	}
+	for c := int64(0); c < 1000; c++ {
+		if src.Due(c) != 0 {
+			t.Fatal("zero-rate MMPP fired")
+		}
+	}
+}
+
+func TestMMPPDegeneratesToPoisson(t *testing.T) {
+	// OnFrac 1 must behave like a plain Poisson source at the same rate.
+	src := NewMMPP(0.05, Burst{OnFrac: 1, MeanOn: 100}, 13)
+	total := 0
+	const cycles = 200000
+	for c := int64(0); c < cycles; c++ {
+		total += src.Due(c)
+	}
+	got := float64(total) / cycles
+	if math.Abs(got-0.05) > 0.003 {
+		t.Errorf("OnFrac=1 mean rate %v want 0.05", got)
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	for _, b := range []Burst{{0, 10}, {-0.1, 10}, {1.5, 10}, {0.5, 0}, {0.5, -3}} {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Burst%+v should be invalid", b)
+		}
+	}
+	if err := (Burst{OnFrac: 0.25, MeanOn: 100}).Validate(); err != nil {
+		t.Errorf("valid burst rejected: %v", err)
+	}
+}
+
 func TestBitPatternRequiresPow2(t *testing.T) {
 	m := topology.NewMesh(3, 3)
 	p := New(BitReversal, m)
