@@ -32,6 +32,7 @@ import (
 
 	"lapses/internal/core"
 	"lapses/internal/experiments"
+	"lapses/internal/fault"
 	"lapses/internal/selection"
 	"lapses/internal/sweep"
 	"lapses/internal/traffic"
@@ -68,13 +69,18 @@ type entry struct {
 	// local one.
 	Bursty bool `json:"bursty,omitempty"`
 	Notify bool `json:"notify,omitempty"`
+	// Scheduled records a transient-fault-schedule run (schema 6):
+	// mid-run epoch transitions with route reconvergence and the
+	// reconfiguration drain on the per-cycle path's books.
+	Scheduled bool `json:"scheduled,omitempty"`
 }
 
 // snapshot is the BENCH_<date>.json schema. Schema 2 added per-entry
 // gomaxprocs/shards/skipped_frac; schema 3 adds simulated_cycles_total
 // and the sweep/16pt/auto + bisect/16x16 entries; schema 4 adds
 // event_mode and the sim/16x16/.../events entries; schema 5 adds
-// bursty/notify and the sim/16x16/load=0.20/bursty[...] entries. Older
+// bursty/notify and the sim/16x16/load=0.20/bursty[...] entries; schema
+// 6 adds scheduled and the sim/16x16/load=0.20/schedule entry. Older
 // baselines still load for comparison (schema-1 entries are implicitly
 // shards=1).
 type snapshot struct {
@@ -109,7 +115,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     5,
+		Schema:     6,
 		Date:       time.Now().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -132,6 +138,7 @@ func main() {
 		e.EventMode = c.EventMode
 		e.Bursty = c.Burst != nil
 		e.Notify = c.Selection.IsNotify()
+		e.Scheduled = c.Schedule != nil
 		if total > 0 {
 			e.SkippedFrac = float64(skipped) / float64(total)
 		}
@@ -190,6 +197,22 @@ func main() {
 		sim("sim/16x16/load=0.20/bursty", c)
 		c.Selection = selection.NotifyMaxCredit
 		sim("sim/16x16/load=0.20/bursty/notify", c)
+	}
+
+	// Transient fault schedule at the workhorse operating point (schema
+	// 6): four mid-run transitions (two links down and healing, staggered
+	// inside the measured interval) with live route reconvergence and the
+	// reconfiguration drain. Against the plain load=0.20 entry this
+	// isolates what a scheduled run costs per cycle: the schedule-presence
+	// checks on the hot path plus the transitions themselves.
+	{
+		c := simPoint(0.2)
+		sched, err := fault.ParseSchedule(c.Mesh(), "119-120@400:1100,135-136@450:1150")
+		if err != nil {
+			fatal(err)
+		}
+		c.Schedule = sched
+		sim("sim/16x16/load=0.20/schedule", c)
 	}
 
 	// Construction cost: what every sweep point pays before cycle zero.

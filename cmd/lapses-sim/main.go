@@ -16,6 +16,14 @@
 //	lapses-sim -load 0.3 -faults 4 -fault-seed 7
 //	lapses-sim -load 0.3 -faults 12-13,40-41,r77
 //
+// Transient faults come from -fault-schedule: timed down/up events that
+// hit mid-run, with live route reconvergence at each transition. The
+// optional -reliability flag adds the end-to-end NI retransmission layer
+// on top, turning the losses into retries:
+//
+//	lapses-sim -load 0.3 -fault-schedule 12-13@5000:9000,r77@2000
+//	lapses-sim -load 0.3 -fault-schedule 12-13@5000:9000 -reliability on
+//
 // -burst switches every source to a bursty two-state MMPP at the same
 // mean rate, and -qos enables two-class traffic with VC reservation —
 // the workloads the notification selectors (-selection notify-lru etc.)
@@ -71,6 +79,8 @@ func main() {
 	autoTol := flag.Float64("auto-tol", 0.05, "with -auto: stop once the 95% CI half-width falls to this fraction of the mean")
 	faults := flag.String("faults", "", "fault plan: a count of random link failures, or an explicit \"A-B,...,rN\" spec")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for random fault plans")
+	faultSched := flag.String("fault-schedule", "", "transient fault schedule: \"A-B@DOWN:UP,rN@DOWN,...\" timed events (\":UP\" omitted = permanent); exclusive with -faults")
+	reliability := flag.String("reliability", "", "end-to-end NI retransmission layer: \"on\" for defaults, or \"RTO,ATTEMPTS,ACKDELAY\" (cycles, count, cycles; 0 = default)")
 	shards := flag.Int("shards", 1, "row-band shards stepping the run in parallel (results are bit-identical for any count)")
 	events := flag.Bool("events", false, "event-driven kernel: observationally equivalent to cycle mode, not bit-identical (see README)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
@@ -136,6 +146,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *faultSched != "" {
+		if *faults != "" {
+			fatal(fmt.Errorf("-faults and -fault-schedule are exclusive: a static plan is the schedule with no timestamps"))
+		}
+		if cfg.Schedule, err = fault.ParseSchedule(cfg.Mesh(), *faultSched); err != nil {
+			fatal(err)
+		}
+	}
+	if *reliability != "" {
+		if cfg.Reliability, err = parseReliability(*reliability); err != nil {
+			fatal(err)
+		}
+	}
 
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -158,6 +181,9 @@ func main() {
 		fmt.Printf("faults         %d links, %d routers down: %s\n",
 			cfg.Faults.NumLinks(), cfg.Faults.NumRouters(), cfg.Faults.Key())
 	}
+	if cfg.Schedule != nil {
+		fmt.Printf("schedule       %s\n", cfg.Schedule.Key())
+	}
 	fmt.Printf("avg latency    %s cycles (95%% CI +/- %.2f)\n", res.LatencyString(), res.CI95)
 	fmt.Printf("percentiles    p50 %.0f / p95 %.0f / p99 %.0f cycles\n", res.P50, res.P95, res.P99)
 	fmt.Printf("net latency    %.1f cycles (excl. source queueing)\n", res.NetLatency)
@@ -176,6 +202,20 @@ func main() {
 	}
 	fmt.Printf("kernel         %s, %d shard(s), %d of %d cycles fast-forwarded\n",
 		kernel, cfg.EffectiveShards(), res.SkippedCycles, res.TotalCycles)
+	if cfg.Schedule != nil {
+		recovery := "never (or no pre-fault baseline)"
+		if res.RecoveryCycles >= 0 {
+			recovery = fmt.Sprintf("%d cycles after last failure", res.RecoveryCycles)
+		}
+		fmt.Printf("transitions    %d reconvergences, %d flits / %d messages dropped\n",
+			res.ReconvergenceEpochs, res.DroppedFlits, res.DroppedMessages)
+		fmt.Printf("availability   %.4f of measured messages delivered, rate recovered %s\n",
+			res.DeliveredFraction, recovery)
+	}
+	if cfg.Reliability != nil {
+		fmt.Printf("reliability    %d retransmissions, %d duplicates suppressed, %d abandoned\n",
+			res.Retransmits, res.DupSuppressed, res.Abandoned)
+	}
 	if cfg.Auto != nil {
 		fmt.Printf("auto           converged=%t after %d messages (CI ±%.2f, target ±%.1f%% of mean)\n",
 			res.Converged, res.Delivered, res.LatencyCI, *autoTol*100)
@@ -202,6 +242,32 @@ func pipeName(la bool) string {
 		return "LA-PROUD (4-stage)"
 	}
 	return "PROUD (5-stage)"
+}
+
+// parseReliability reads the -reliability spec: "on" takes every
+// default, otherwise "RTO,ATTEMPTS,ACKDELAY" with zeros falling back to
+// the defaults (core validates signs and the network applies defaults).
+func parseReliability(spec string) (*core.Reliability, error) {
+	if strings.TrimSpace(spec) == "on" {
+		return &core.Reliability{}, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -reliability %q: want \"on\" or RTO,ATTEMPTS,ACKDELAY (e.g. 2048,12,64)", spec)
+	}
+	rto, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -reliability %q: %v", spec, err)
+	}
+	attempts, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("bad -reliability %q: %v", spec, err)
+	}
+	ackDelay, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -reliability %q: %v", spec, err)
+	}
+	return &core.Reliability{RTO: rto, MaxAttempts: attempts, AckDelay: ackDelay}, nil
 }
 
 // parseFaults builds the fault plan: a bare integer draws that many

@@ -103,6 +103,27 @@ type Config struct {
 	// healthy bisection so series over fault counts share an x-axis.
 	Faults *fault.Plan
 
+	// Schedule, when non-nil, subjects the run to a transient fault
+	// schedule: links and routers fail at given cycles and optionally heal
+	// at later ones (fault.ParseSchedule reads the CLI spec). At each
+	// transition the network destroys every flit committed to dying
+	// equipment, swaps in routing tables recomputed for the new epoch's
+	// live graph, and restores the credit invariants — traffic in flight
+	// elsewhere keeps moving. A static schedule (every event down at cycle
+	// 0, no repairs) is collapsed onto the Faults path and behaves — and
+	// memoizes — byte-identically to the equivalent static plan. Mutually
+	// exclusive with Faults.
+	Schedule *fault.Schedule
+
+	// Reliability, when non-nil, enables the end-to-end NI retransmission
+	// layer: sources hold every message until the destination acknowledges
+	// it (acks piggyback on reverse traffic, with pure one-flit acks as
+	// fallback), retransmit on timeout with exponential backoff, and
+	// receivers suppress duplicates — exactly-once delivery over a fabric
+	// whose fault transitions drop flits. Without it, messages destroyed
+	// by a transition are reported lost (Result.DroppedMessages).
+	Reliability *Reliability
+
 	// VCs per physical channel (Table 2: 4) and how many of them form
 	// the escape class for Duato routing (1 on meshes, 2 on tori).
 	VCs       int
@@ -205,6 +226,22 @@ type QoSSpec struct {
 	HiVCs int
 }
 
+// Reliability configures the end-to-end NI retransmission layer
+// (Config.Reliability). Zero fields take the layer's defaults.
+type Reliability struct {
+	// RTO is the base retransmission timeout in cycles (default 2048);
+	// attempt k waits RTO<<min(k-1, 6).
+	RTO int64
+	// MaxAttempts bounds send attempts per message, the first included
+	// (default 12); an unacknowledged message is then abandoned and
+	// reported lost.
+	MaxAttempts int
+	// AckDelay is how long a receiver waits for reverse traffic to
+	// piggyback an acknowledgment on before sending a pure one-flit ack
+	// (default 64 cycles).
+	AckDelay int64
+}
+
 // AutoMeasure configures the adaptive measurement tier (Config.Auto).
 // Zero fields take defaults derived from the config's fixed budgets, so
 // `cfg.Auto = &core.AutoMeasure{}` is a valid opt-in: the run can only
@@ -301,6 +338,21 @@ func (c Config) EffectiveShards() int {
 	return s
 }
 
+// normalized collapses a static schedule — one whose every event is down
+// at cycle 0 with no repair — onto the plain Faults path: the simulation
+// is the same, and keeping one spelling keeps cache keys and results
+// byte-identical to static-plan configurations. Run and Key both operate
+// on the normalized form.
+func (c Config) normalized() Config {
+	if c.Schedule != nil && c.Schedule.Static() {
+		if p := c.Schedule.StaticPlan(); !p.Empty() {
+			c.Faults = p
+		}
+		c.Schedule = nil
+	}
+	return c
+}
+
 // Key returns a string that identifies the configuration exactly: two
 // configs with equal keys produce bit-identical Results from Run. It is
 // the memo-cache key used by internal/sweep. Floats are keyed by their
@@ -308,6 +360,7 @@ func (c Config) EffectiveShards() int {
 // by pointer identity, which is stable within a process (the scope of the
 // in-memory cache).
 func (c Config) Key() string {
+	c = c.normalized()
 	var b strings.Builder
 	b.Grow(96)
 	fmt.Fprintf(&b, "d%v", c.Dims)
@@ -353,6 +406,17 @@ func (c Config) Key() string {
 	if !c.Faults.Empty() {
 		fmt.Fprintf(&b, ",f[%s]", c.Faults.Key())
 	}
+	// A non-static schedule is keyed by its canonical timed-event content
+	// (normalization above already rewrote static ones as plain plans, so
+	// "12-13" spelled as a schedule or a plan shares a cache line).
+	if c.Schedule != nil {
+		fmt.Fprintf(&b, ",fs[%s]", c.Schedule.Key())
+	}
+	// The reliability layer changes delivery behavior (retransmitted
+	// traffic competes with measured traffic), so it always keys apart.
+	if c.Reliability != nil {
+		fmt.Fprintf(&b, ",rel[%d,%d,%d]", c.Reliability.RTO, c.Reliability.MaxAttempts, c.Reliability.AckDelay)
+	}
 	return b.String()
 }
 
@@ -378,10 +442,7 @@ func (c Config) class() routing.Class {
 // with a descriptive error when the plan disconnects the live network.
 func (c Config) buildAlgorithm(m *topology.Mesh, cls routing.Class) (routing.Algorithm, error) {
 	if !c.Faults.Empty() {
-		if c.Algorithm == AlgDuato {
-			return routing.NewFaultDuato(m, cls, c.Faults)
-		}
-		return routing.NewFaultDimOrder(m, cls, c.Faults)
+		return c.algorithmFor(m, cls, c.Faults)
 	}
 	switch c.Algorithm {
 	case AlgXY:
@@ -400,8 +461,24 @@ func (c Config) buildAlgorithm(m *topology.Mesh, cls routing.Class) (routing.Alg
 	panic("core: unknown algorithm")
 }
 
+// algorithmFor materializes the fault-aware variant of the configured
+// algorithm over one plan — for static runs the single plan, for
+// scheduled runs each epoch's. Schedules route fault-aware in every
+// epoch (the healthy epochs included) so consecutive epochs differ only
+// in the damage they avoid, never in routing family.
+func (c Config) algorithmFor(m *topology.Mesh, cls routing.Class, plan *fault.Plan) (routing.Algorithm, error) {
+	if c.Algorithm == AlgDuato {
+		return routing.NewFaultDuato(m, cls, plan)
+	}
+	return routing.NewFaultDimOrder(m, cls, plan)
+}
+
 // Validate reports configuration errors without building the network.
 func (c Config) Validate() error {
+	if c.Schedule != nil && !c.Faults.Empty() {
+		return fmt.Errorf("core: Faults and Schedule are mutually exclusive; encode static damage in either one")
+	}
+	c = c.normalized()
 	if len(c.Dims) == 0 {
 		return fmt.Errorf("core: no dimensions")
 	}
@@ -474,6 +551,26 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: trace workloads require fault plans without dead routers (trace endpoints cannot be filtered)")
 		}
 	}
+	if s := c.Schedule; s != nil {
+		if !s.Fits(c.Mesh()) {
+			return fmt.Errorf("core: fault schedule %s was built for a different topology than %s", s, c.Mesh())
+		}
+		if c.Table == table.KindMetaRow || c.Table == table.KindMetaBlock {
+			return fmt.Errorf("core: meta tables are defined for healthy meshes; use es or full under a fault schedule")
+		}
+		if c.Trace != nil {
+			for i := 0; i < s.Epochs(); i++ {
+				if s.Plan(i).NumRouters() > 0 {
+					return fmt.Errorf("core: trace workloads require fault schedules without router events (trace endpoints cannot be filtered)")
+				}
+			}
+		}
+	}
+	if r := c.Reliability; r != nil {
+		if r.RTO < 0 || r.MaxAttempts < 0 || r.AckDelay < 0 {
+			return fmt.Errorf("core: negative Reliability parameter")
+		}
+	}
 	return (routing.Class{NumVCs: c.VCs, EscapeVCs: c.EscapeVCs}).Validate()
 }
 
@@ -491,7 +588,9 @@ type Result struct {
 	P50, P95, P99 float64
 	// AvgHops is the mean link traversals per message.
 	AvgHops float64
-	// Throughput is delivered flits per node per cycle.
+	// Throughput is delivered flits per node per cycle. It counts first
+	// deliveries only: with the reliability layer on, retransmitted
+	// copies and duplicate arrivals never inflate it.
 	Throughput float64
 	// Delivered is the number of measured messages.
 	Delivered int64
@@ -531,6 +630,37 @@ type Result struct {
 	// prints "Sat." for these.
 	Saturated bool
 	SatReason string
+
+	// The remaining fields are populated only for runs under a fault
+	// schedule (and, for the retransmission counters, with the
+	// reliability layer on); they are zero otherwise.
+
+	// DroppedFlits counts flits destroyed by fault transitions — in
+	// flight on dying links, buffered in dying routers, or stranded with
+	// no live path.
+	DroppedFlits int64
+	// DroppedMessages counts messages permanently lost to transitions.
+	// Zero whenever the reliability layer is on and nothing was
+	// abandoned: retransmission recovered every loss.
+	DroppedMessages int64
+	// ReconvergenceEpochs counts the fault transitions the run executed
+	// (table swaps with live route reconvergence).
+	ReconvergenceEpochs int64
+	// DeliveredFraction is delivered measured messages over all measured
+	// messages: 1.0 when nothing measured was lost.
+	DeliveredFraction float64
+	// RecoveryCycles is how long after the schedule's last failure the
+	// delivery rate recovered to 95% of its pre-fault mean, measured in
+	// cycles over coarse delivery-rate windows; -1 when the run never
+	// recovered (or provides no pre-fault baseline to compare against).
+	RecoveryCycles int64
+	// Retransmits, DupSuppressed and Abandoned are the reliability
+	// layer's counters: message copies retransmitted after timeout,
+	// duplicate deliveries suppressed at receivers, and messages given
+	// up on after MaxAttempts.
+	Retransmits   int64
+	DupSuppressed int64
+	Abandoned     int64
 }
 
 // LatencyString renders AvgLatency the way the paper's tables do.
@@ -550,6 +680,9 @@ type plumbing struct {
 	cls  routing.Class
 	alg  routing.Algorithm
 	tbls []table.Table
+	// epochTbls holds one table set per schedule epoch for scheduled-fault
+	// runs (nil otherwise); tbls aliases epochTbls[0] then.
+	epochTbls [][]table.Table
 }
 
 // plumbingCache memoizes plumbing per structural configuration for the
@@ -562,13 +695,29 @@ type plumbing struct {
 var plumbingCache sync.Map
 
 func (c Config) plumbing() (*plumbing, error) {
-	key := fmt.Sprintf("d%v,t%t,v%d,e%d,a%d,tb%d,f[%s]",
-		c.Dims, c.Torus, c.VCs, c.EscapeVCs, int(c.Algorithm), int(c.Table), c.Faults.Key())
+	key := fmt.Sprintf("d%v,t%t,v%d,e%d,a%d,tb%d,f[%s],fs[%s]",
+		c.Dims, c.Torus, c.VCs, c.EscapeVCs, int(c.Algorithm), int(c.Table), c.Faults.Key(), c.Schedule.Key())
 	if v, ok := plumbingCache.Load(key); ok {
 		return v.(*plumbing), nil
 	}
 	m := c.Mesh()
 	cls := c.class()
+	if s := c.Schedule; s != nil {
+		// Scheduled runs carry one fault-aware routing policy and table
+		// set per epoch; the network swaps between them at transitions.
+		alg, err := c.algorithmFor(m, cls, s.Plan(0))
+		if err != nil {
+			return nil, err
+		}
+		epochTbls, err := network.BuildEpochTables(m, c.Table, cls, s, func(plan *fault.Plan) (routing.Algorithm, error) {
+			return c.algorithmFor(m, cls, plan)
+		})
+		if err != nil {
+			return nil, err
+		}
+		v, _ := plumbingCache.LoadOrStore(key, &plumbing{m: m, cls: cls, alg: alg, tbls: epochTbls[0], epochTbls: epochTbls})
+		return v.(*plumbing), nil
+	}
 	alg, err := c.buildAlgorithm(m, cls)
 	if err != nil {
 		return nil, err
@@ -587,6 +736,7 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	cfg = cfg.normalized()
 	p, err := cfg.plumbing()
 	if err != nil {
 		return Result{}, err
@@ -619,6 +769,14 @@ func Run(cfg Config) (Result, error) {
 	if cfg.QoS != nil {
 		ncfg.QoSHiFrac = cfg.QoS.HiFrac
 		ncfg.Router.ResvVCs = cfg.QoS.HiVCs
+	}
+	if cfg.Schedule != nil {
+		ncfg.Schedule = cfg.Schedule
+		ncfg.EpochTables = p.epochTbls
+		ncfg.Tables = nil
+	}
+	if r := cfg.Reliability; r != nil {
+		ncfg.Reliability = &network.Reliability{RTO: r.RTO, MaxAttempts: r.MaxAttempts, AckDelay: r.AckDelay}
 	}
 	if err := ncfg.Validate(); err != nil {
 		return Result{}, err
@@ -659,6 +817,18 @@ func Run(cfg Config) (Result, error) {
 		SatReason:      run.SatReason,
 	}
 	res.LatencyCI = res.CI95
+	if s := cfg.Schedule; s != nil {
+		res.DroppedFlits = net.DroppedFlits()
+		res.DroppedMessages = net.DroppedMessages()
+		res.ReconvergenceEpochs = net.ReconvergenceEpochs()
+		res.DeliveredFraction = float64(run.Latency.N()) / float64(params.MeasureMessages)
+		res.RecoveryCycles = recoveryCycles(net.DeliveryWindows(), s.FirstDown(), s.LastDown())
+	}
+	if cfg.Reliability != nil {
+		res.Retransmits = net.Retransmits()
+		res.DupSuppressed = net.DupSuppressed()
+		res.Abandoned = net.Abandoned()
+	}
 	if ad != nil {
 		// A run ended by a guard may not have evaluated recently; fold in
 		// everything seen before reading the estimate.
@@ -679,4 +849,41 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// recoveryCycles computes the post-fault recovery time from the network's
+// coarse delivery-rate windows (network.WindowCycles cycles each): the
+// pre-fault delivery rate is the mean over the full windows before the
+// schedule's first failure, and the network has recovered at the first
+// window at or after the last failure whose rate reaches 95% of it.
+// Returns the cycles from the last failure to the end of that window, or
+// -1 when no pre-fault baseline exists or the rate never recovers within
+// the run.
+func recoveryCycles(windows []int64, firstDown, lastDown int64) int64 {
+	const win = network.WindowCycles
+	if firstDown < 0 || lastDown < 0 {
+		return -1
+	}
+	pre := firstDown / win // full windows before the first failure
+	if pre <= 0 || pre > int64(len(windows)) {
+		return -1
+	}
+	var sum int64
+	for _, w := range windows[:pre] {
+		sum += w
+	}
+	rate := float64(sum) / float64(pre)
+	if rate <= 0 {
+		return -1
+	}
+	for i := lastDown / win; i < int64(len(windows)); i++ {
+		if float64(windows[i]) >= 0.95*rate {
+			end := (i + 1) * win
+			if d := end - lastDown; d > 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	return -1
 }

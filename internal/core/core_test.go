@@ -259,6 +259,14 @@ func TestConfigKey(t *testing.T) {
 		func(c *Config) { c.Seed = 42 },
 		func(c *Config) { c.Shards = 4 },
 		func(c *Config) { c.EventMode = true },
+		func(c *Config) {
+			s, err := fault.ParseSchedule(c.Mesh(), "0-1@10:20")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Schedule = s
+		},
+		func(c *Config) { c.Reliability = &Reliability{RTO: 256} },
 	}
 	// Every field of Config must have a perturbation above: a field
 	// added without extending Key would silently alias memo-cache

@@ -503,7 +503,7 @@ func RenderTable5(w io.Writer, rows []Table5Row) {
 
 // Names lists the runnable experiment identifiers.
 func Names() []string {
-	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5", "resilience", "scaling", "congestion"}
+	return []string{"table1", "table2", "fig5", "table3", "fig6", "table4", "table5", "resilience", "scaling", "congestion", "availability"}
 }
 
 // RunByName executes one experiment by identifier and renders it to w.
@@ -559,6 +559,12 @@ func (r Runner) RunByName(ctx context.Context, w io.Writer, name string) error {
 			return err
 		}
 		RenderCongestion(w, rows)
+	case "availability":
+		rows, err := r.Availability(ctx)
+		if err != nil {
+			return err
+		}
+		RenderAvailability(w, rows)
 	default:
 		names := Names()
 		sort.Strings(names)

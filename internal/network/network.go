@@ -4,6 +4,23 @@
 // and the cycle loop with the paper's measurement methodology (warm-up
 // messages excluded, statistics over a fixed count of measured messages,
 // saturation guards).
+//
+// Two optional layers model networks that fail and recover mid-run. A
+// fault schedule (Config.Schedule + Config.EpochTables) applies timed
+// link/router down/up transitions at the shard barrier — dropping the
+// state committed to dying equipment plus the messages the
+// reconfiguration drain retires, swapping routing tables, and
+// recomputing flow control; see the commentary in dynfault.go for the
+// exact semantics and the deadlock argument. The end-to-end reliability
+// layer (Config.Reliability) adds sender-timeout retransmission with
+// receiver-side duplicate suppression at the NIs, turning those losses
+// into exactly-once delivery; see reliability.go.
+//
+// Determinism: a run is bit-reproducible for a fixed configuration, and
+// cycle-kernel runs (scheduled or not) are additionally bit-identical
+// across shard counts. The event kernel is deterministic per (config,
+// shard count) and observationally equivalent to the cycle kernel, but
+// not bit-identical across shard counts.
 package network
 
 import (
@@ -48,6 +65,23 @@ type Config struct {
 	// plan (core builds fault-aware ones); the network only enforces the
 	// physical consequences.
 	Faults *fault.Plan
+	// Schedule, when non-nil, makes the fault set change mid-run: links
+	// and routers fail and heal at their scheduled cycles. All links are
+	// wired (liveness is dynamic); at each transition the network purges
+	// every flit committed to dying equipment, swaps in the epoch's
+	// routing tables, and recomputes flow-control credits from global
+	// state (see dynfault.go). Mutually exclusive with Faults; requires
+	// EpochTables.
+	Schedule *fault.Schedule
+	// EpochTables supplies one prebuilt table set per schedule epoch
+	// (EpochTables[e][node]), each built over that epoch's live subgraph.
+	// Required when Schedule is non-nil; see BuildEpochTables.
+	EpochTables [][]table.Table
+	// Reliability, when non-nil, turns on the end-to-end NI reliability
+	// layer: sequence numbers per (src, dst) stream, piggybacked acks,
+	// timeout retransmission with exponential backoff, receiver dedup —
+	// exactly-once delivery across fault transients (see reliability.go).
+	Reliability *Reliability
 	// Pattern drives destination choice.
 	Pattern traffic.Pattern
 	// Trace, when non-nil, replaces the Pattern/MsgRate open-loop
@@ -114,6 +148,29 @@ func (c Config) Validate() error {
 	}
 	if c.Trace != nil && c.Faults.NumRouters() > 0 {
 		return fmt.Errorf("network: trace workloads require fault plans without dead routers (trace endpoints cannot be filtered)")
+	}
+	if c.Schedule != nil {
+		if !c.Faults.Empty() {
+			return fmt.Errorf("network: Faults and Schedule are mutually exclusive")
+		}
+		if !c.Schedule.Fits(c.Mesh) {
+			return fmt.Errorf("network: fault schedule %s was built for a different topology than %s", c.Schedule, c.Mesh)
+		}
+		if len(c.EpochTables) != c.Schedule.Epochs() {
+			return fmt.Errorf("network: schedule has %d epochs but %d table sets were supplied", c.Schedule.Epochs(), len(c.EpochTables))
+		}
+		if c.Trace != nil {
+			for _, ev := range c.Schedule.Events() {
+				if ev.IsRouter {
+					return fmt.Errorf("network: trace workloads require fault schedules without router events (trace endpoints cannot be filtered)")
+				}
+			}
+		}
+	}
+	if c.Reliability != nil {
+		if err := c.Reliability.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.MsgLen < 1 {
 		return fmt.Errorf("network: MsgLen %d < 1", c.MsgLen)
@@ -275,6 +332,33 @@ type Network struct {
 	delivered int64 // total messages delivered
 	onArrive  func(msg *flow.Message, now int64)
 
+	// Fault-schedule state (dynfault.go). plan is the fault set currently
+	// in effect — cfg.Faults on the static path, the active epoch's plan
+	// under a schedule. It is written only between cycles (Step's
+	// preamble), so phase-A readers never race.
+	plan        *fault.Plan
+	sched       *fault.Schedule
+	epochTables [][]table.Table
+	epoch       int
+	// Barrier-owned loss counters; per-shard counters (retransmits,
+	// duplicates) live on the shards and are summed by accessors.
+	droppedFlits int64
+	droppedMsgs  int64
+	reconv       int64
+	// onLost fires at the barrier for every permanently lost message:
+	// purge victims and dead-destination drops without reliability,
+	// abandoned (retry-exhausted) messages with it. Run counts in-window
+	// losses toward its completion target so finite workloads drain.
+	onLost func(id flow.MessageID)
+	// windows counts first deliveries per 2^windowShift-cycle bucket when
+	// a schedule is active; the recovery-time metric reads it.
+	windows []int64
+
+	// rel is the normalized reliability configuration; nextCtrl hands out
+	// negative IDs to pure-ack control messages at the barrier.
+	rel      *Reliability
+	nextCtrl flow.MessageID
+
 	// notify is set when the configured selector consumes congestion
 	// notifications: credits then piggyback the issuer's quantized
 	// congestion level. Off (the default for every local heuristic) the
@@ -297,10 +381,12 @@ func New(cfg Config) *Network {
 		panic(err)
 	}
 	m := cfg.Mesh
-	if !cfg.Faults.Empty() {
+	if !cfg.Faults.Empty() || cfg.Schedule != nil {
 		// The non-minimal up*/down* escape of fault-aware routing is
 		// deadlock-free only under the stay-on-escape discipline; see
-		// router.Config.EscapeCommit.
+		// router.Config.EscapeCommit. A schedule needs it from cycle 0:
+		// traffic in flight at a fault transition must already obey the
+		// discipline the faulted epochs require.
 		cfg.Router.EscapeCommit = true
 	}
 	if cfg.Faults.NumRouters() > 0 && cfg.Pattern != nil {
@@ -317,6 +403,16 @@ func New(cfg Config) *Network {
 		routers: make([]*router.Router, m.N()),
 		nis:     make([]*ni, m.N()),
 		notify:  cfg.Selection.IsNotify(),
+		plan:    cfg.Faults,
+		sched:   cfg.Schedule,
+	}
+	if cfg.Schedule != nil {
+		n.epochTables = cfg.EpochTables
+		n.plan = cfg.Schedule.Plan(0)
+	}
+	if cfg.Reliability != nil {
+		rel := cfg.Reliability.withDefaults()
+		n.rel = &rel
 	}
 	bounds := shardBounds(m, cfg.Shards)
 	n.shards = make([]*shard, len(bounds)-1)
@@ -351,22 +447,30 @@ func New(cfg Config) *Network {
 	for id := 0; id < m.N(); id++ {
 		node := topology.NodeID(id)
 		tbl := table.Table(nil)
-		if cfg.Tables != nil {
+		switch {
+		case cfg.Schedule != nil:
+			tbl = n.epochTables[0][id]
+		case cfg.Tables != nil:
 			tbl = cfg.Tables[id]
-		} else {
+		default:
 			tbl = table.Build(cfg.Table, m, cfg.Algorithm, cfg.Class, node)
 		}
 		sel := selection.New(cfg.Selection, cfg.Seed+int64(id)*7919)
 		n.routers[id] = router.New(node, m, cfg.Router, tbl, sel)
+		if cfg.Schedule != nil {
+			n.routers[id].SetDeadPorts(n.deadPortMask(node))
+		}
 	}
 	n.ports = m.NumPorts()
 	n.links = make([]link, m.N()*m.NumPorts())
 	for id := 0; id < m.N(); id++ {
 		for p := 0; p < m.NumPorts(); p++ {
-			// A failed link is simply not wired: it can carry neither
-			// flits nor credits, and a router erroneously routing onto
-			// one hits the missing-link panic in sendFunc.
-			if cfg.Faults.LinkDead(topology.NodeID(id), topology.Port(p)) {
+			// A statically failed link is simply not wired: it can carry
+			// neither flits nor credits, and a router erroneously routing
+			// onto one hits the missing-link panic in sendFunc. Under a
+			// schedule every link is wired — liveness is dynamic, enforced
+			// by dead-port gating and the transition purge instead.
+			if cfg.Schedule == nil && cfg.Faults.LinkDead(topology.NodeID(id), topology.Port(p)) {
 				continue
 			}
 			if nb, ok := m.Neighbor(topology.NodeID(id), topology.Port(p)); ok {
@@ -386,9 +490,11 @@ func New(cfg Config) *Network {
 	n.lastOcc = make([]int32, m.N())
 	// Every NI starts idle; park each on the wake heap at its first
 	// arrival (nodes whose process never fires stay dormant forever).
-	// NIs on dead routers never register: they inject nothing.
+	// NIs on statically dead routers never register: they inject nothing.
+	// Under a schedule every NI registers — a node dead now may heal, and
+	// its traffic process must keep consuming its due events meanwhile.
 	for id, x := range n.nis {
-		if cfg.Faults.NodeDead(topology.NodeID(id)) {
+		if cfg.Schedule == nil && cfg.Faults.NodeDead(topology.NodeID(id)) {
 			continue
 		}
 		if at, ok := x.nextWake(); ok {
@@ -560,6 +666,15 @@ func (n *Network) Step() {
 			n.ffSkipped += target - now
 			now = target
 		}
+	}
+	// Apply fault-schedule transitions due at or before this cycle, on the
+	// stepping goroutine, strictly before any shard's phase A: every shard
+	// observes the same epoch for the whole cycle, so shards=N stays
+	// bit-identical to shards=1. The fast-forward jump above is safe to
+	// cross transitions: it only fires when the network is provably empty,
+	// and advanceEpochs replays every skipped transition here in order.
+	if n.sched != nil {
+		n.advanceEpochs(now)
 	}
 	if p := n.par; p != nil {
 		p.wg.Add(len(p.start))
@@ -752,6 +867,24 @@ func (n *Network) Run(p RunParams) *stats.Run {
 		lastDeliver = now
 	}
 	defer func() { n.onArrive = prev }()
+
+	// A permanently lost message (dropped at a fault transition without
+	// reliability, or abandoned after exhausting retransmissions with it)
+	// counts toward completion like a delivery — it will never arrive, so
+	// waiting for it would spin the loop into the cycle budget — but
+	// records no statistics: Latency.N() over MeasureMessages is the
+	// delivered fraction.
+	prevLost := n.onLost
+	n.onLost = func(id flow.MessageID) {
+		if prevLost != nil {
+			prevLost(id)
+		}
+		lastProgress = n.now
+		if id >= lo && id < hi {
+			measuredDone++
+		}
+	}
+	defer func() { n.onLost = prevLost }()
 
 	for measuredDone < p.MeasureMessages {
 		// The adaptive controller ends the loop as soon as it stops

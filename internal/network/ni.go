@@ -36,6 +36,10 @@ type ni struct {
 	streams []stream
 	credits []int
 	rr      int
+
+	// rel is the end-to-end reliability state, nil when the layer is off
+	// (the healthy path pays one pointer test per tick and delivery).
+	rel *niRel
 }
 
 func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
@@ -58,6 +62,12 @@ func newNI(n *Network, node topology.NodeID, r *router.Router) *ni {
 	if n.cfg.Trace != nil {
 		x.trace = n.cfg.Trace.Cursor(node)
 	}
+	if n.rel != nil {
+		x.rel = &niRel{
+			nextSeq: make([]int64, n.m.N()),
+			recv:    make([]recvState, n.m.N()),
+		}
+	}
 	for i := range x.credits {
 		x.credits[i] = r.InputSpace(topology.PortLocal, flow.VCID(i))
 	}
@@ -78,13 +88,24 @@ func (x *ni) pending() int {
 	return n
 }
 
-// nextWake returns the cycle the NI's traffic process next produces a
-// message, or false when it never will again.
+// nextWake returns the cycle the NI next has work without external input:
+// its traffic process's next firing, joined (when the reliability layer is
+// on) with its earliest retransmission deadline or pending pure ack. False
+// means the NI never needs to wake again.
 func (x *ni) nextWake() (int64, bool) {
+	var at int64
+	var ok bool
 	if x.trace != nil {
-		return x.trace.NextAt()
+		at, ok = x.trace.NextAt()
+	} else {
+		at, ok = x.inj.NextAt()
 	}
-	return x.inj.NextAt()
+	if x.rel != nil {
+		if rat, rok := x.relNextWake(); rok && (!ok || rat < at) {
+			at, ok = rat, true
+		}
+	}
+	return at, ok
 }
 
 // inject seeds a message directly into its source node's queue, bypassing
@@ -92,7 +113,7 @@ func (x *ni) nextWake() (int64, bool) {
 // bookkeeping coherent, which appending to the queue directly would not;
 // tests that hand-craft messages must use it.
 func (n *Network) inject(msg *flow.Message) {
-	if n.cfg.Faults.NodeDead(msg.Src) || n.cfg.Faults.NodeDead(msg.Dst) {
+	if n.plan.NodeDead(msg.Src) || n.plan.NodeDead(msg.Dst) {
 		panic("network: inject touching a dead router")
 	}
 	x := n.nis[msg.Src]
@@ -119,6 +140,24 @@ func (sh *shard) newMessage() *flow.Message {
 // VCs, and injects at most one flit (the injection channel is one flit
 // wide, like every physical channel).
 func (x *ni) tick(now int64) {
+	// A node that is dead in the current schedule epoch injects nothing,
+	// but its traffic process still consumes its due firings: a healed
+	// node resumes at the process's natural pace instead of releasing a
+	// backlog of every message "generated" while it was down.
+	if x.net.sched != nil && x.net.plan.NodeDead(x.node) {
+		if x.trace != nil {
+			x.trace.Due(now)
+		} else {
+			x.inj.Due(now)
+		}
+		return
+	}
+	// Reliability timers run before generation so a retransmitted copy or
+	// pure ack enqueued this cycle competes for this cycle's injection
+	// slot like any queued message.
+	if x.rel != nil {
+		x.relMaintain(now)
+	}
 	// Generated messages carry no ID yet: IDs are assigned at the cycle
 	// barrier in ascending node order (see finishCycle), which keeps the
 	// global creation numbering identical under any shard count. Nothing
@@ -130,6 +169,9 @@ func (x *ni) tick(now int64) {
 			msg.Dst = tm.Dst
 			msg.Length = tm.Length
 			msg.CreateTime = now
+			if x.rel != nil {
+				x.relTrack(msg, now)
+			}
 			x.sh.created = append(x.sh.created, msg)
 			x.queue = append(x.queue, msg)
 		}
@@ -149,26 +191,49 @@ func (x *ni) tick(now int64) {
 			if hi := x.net.cfg.QoSHiFrac; hi > 0 && x.inj.RNG().Float64() < hi {
 				msg.Class = 1
 			}
+			if x.rel != nil {
+				x.relTrack(msg, now)
+			}
 			x.sh.created = append(x.sh.created, msg)
 			x.queue = append(x.queue, msg)
 		}
 	}
 
-	// Bind the head of the queue to free injection VCs.
+	// Bind the head of the queue to free injection VCs. Under a schedule,
+	// a queued message whose destination is dead right now is dropped at
+	// the bind point instead of being routed into a table with no path:
+	// a permanent loss without the reliability layer (the barrier reports
+	// it), a no-op with it (the retransmission timer retries, and a later
+	// epoch may have healed the destination).
 	for v := range x.streams {
 		if x.streams[v].msg != nil {
 			continue
 		}
-		if x.qHead == len(x.queue) {
+		var msg *flow.Message
+		for x.qHead != len(x.queue) {
+			m := x.queue[x.qHead]
+			x.queue[x.qHead] = nil
+			x.qHead++
+			if x.qHead == len(x.queue) {
+				x.queue = x.queue[:0]
+				x.qHead = 0
+			}
+			if x.net.sched != nil && x.net.plan.NodeDead(m.Dst) {
+				if x.rel == nil {
+					x.sh.dropped = append(x.sh.dropped, m)
+				}
+				continue
+			}
+			msg = m
 			break
 		}
-		x.streams[v] = stream{msg: x.queue[x.qHead]}
-		x.queue[x.qHead] = nil
-		x.qHead++
-		if x.qHead == len(x.queue) {
-			x.queue = x.queue[:0]
-			x.qHead = 0
+		if msg == nil {
+			break
 		}
+		if x.rel != nil {
+			x.relFillAcks(msg)
+		}
+		x.streams[v] = stream{msg: msg}
 	}
 
 	// Event-mode whole-message emission: when exactly one message is being
@@ -284,6 +349,12 @@ func (x *ni) deliver(fl flow.Flit, now int64) {
 		panic("network: flit delivered to wrong node")
 	}
 	if fl.Type.IsTail() {
+		if x.rel != nil && !x.relReceive(fl.Msg, now) {
+			// Consumed by the reliability layer: a pure ack, or a duplicate
+			// of an already-delivered sequence number. Never reaches the
+			// arrival observer; pooled at the barrier like a delivery.
+			return
+		}
 		fl.Msg.ArriveTime = now
 		x.sh.arrived = append(x.sh.arrived, fl.Msg)
 	}

@@ -87,6 +87,24 @@ type shard struct {
 	// msgFree pools delivered messages for reuse by this band's NIs.
 	msgFree []*flow.Message
 
+	// Reliability-layer accumulators (reliability.go), all written only by
+	// this shard's NIs during phase A and drained or summed at the
+	// barrier. newPending holds this cycle's tracked sends awaiting their
+	// message IDs; createdCtrl this cycle's pure acks awaiting (negative)
+	// IDs; relDone delivered copies the layer consumed (duplicates, pure
+	// acks) to pool; lostIDs retry-exhausted message IDs to replay to the
+	// loss observer. dropped holds messages discarded at the bind point
+	// because their destination is dead and no reliability layer will
+	// retry them.
+	newPending  []*pendEntry
+	createdCtrl []*flow.Message
+	relDone     []*flow.Message
+	lostIDs     []flow.MessageID
+	dropped     []*flow.Message
+	retrans     int64
+	dups        int64
+	abandoned   int64
+
 	// outFlits/outCredits are the outbound mailboxes, indexed by
 	// destination shard. Only this shard appends (during its phase A);
 	// only the barrier drains. The slot for the own index stays unused.
@@ -245,11 +263,34 @@ func (n *Network) finishCycle(now int64) {
 			n.nextMsg++
 		}
 		sh.created = sh.created[:0]
+		// Reliability: resolve this cycle's pending entries now that their
+		// messages have IDs, and hand pure acks negative IDs so they never
+		// consume the measured ID space.
+		for _, pe := range sh.newPending {
+			pe.id = pe.msg.ID
+			pe.msg = nil
+		}
+		sh.newPending = sh.newPending[:0]
+		for _, msg := range sh.createdCtrl {
+			n.nextCtrl--
+			msg.ID = n.nextCtrl
+		}
+		sh.createdCtrl = sh.createdCtrl[:0]
 	}
 	// Arrival replay, same order. Within a shard, deliveries were
 	// appended in ascending router order (the active-set iteration), so
 	// the concatenation is the serial kernel's delivery order.
 	for _, sh := range n.shards {
+		if n.sched != nil && len(sh.arrived) > 0 {
+			// Bucket first deliveries for the recovery-time metric. arrived
+			// only ever holds first deliveries: duplicates were consumed in
+			// relReceive before reaching it.
+			idx := int(now >> windowShift)
+			for len(n.windows) <= idx {
+				n.windows = append(n.windows, 0)
+			}
+			n.windows[idx] += int64(len(sh.arrived))
+		}
 		for _, msg := range sh.arrived {
 			n.delivered++
 			if n.onArrive != nil {
@@ -260,6 +301,33 @@ func (n *Network) finishCycle(now int64) {
 			}
 		}
 		sh.arrived = sh.arrived[:0]
+		if len(sh.relDone) > 0 {
+			if n.recycle {
+				sh.msgFree = append(sh.msgFree, sh.relDone...)
+			}
+			sh.relDone = sh.relDone[:0]
+		}
+	}
+	// Permanent losses replay to the observer after every shard's
+	// arrivals, in ascending shard order: bind-point drops of messages to
+	// dead destinations (no reliability layer), then retry-exhausted
+	// abandonments (with it). A separate pass — not the arrival loop —
+	// because interleaving per shard would order a shard-0 loss before a
+	// shard-1 arrival that the serial kernel reports first.
+	for _, sh := range n.shards {
+		for _, msg := range sh.dropped {
+			n.droppedMsgs++
+			if n.onLost != nil {
+				n.onLost(msg.ID)
+			}
+		}
+		sh.dropped = sh.dropped[:0]
+		for _, id := range sh.lostIDs {
+			if n.onLost != nil {
+				n.onLost(id)
+			}
+		}
+		sh.lostIDs = sh.lostIDs[:0]
 	}
 	if len(n.shards) > 1 {
 		for di, d := range n.shards {

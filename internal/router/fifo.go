@@ -100,6 +100,39 @@ func (f *fifo) pop() flow.Flit {
 	return fl
 }
 
+// each visits the buffered flits in queue order.
+func (f *fifo) each(fn func(*flow.Flit)) {
+	for i := 0; i < f.n; i++ {
+		j := f.head + i
+		if j >= len(f.buf) {
+			j -= len(f.buf)
+		}
+		fn(&f.buf[j])
+	}
+}
+
+// removeIf drops every buffered flit of a victim message, preserving the
+// order of the survivors, and returns how many flits it removed. Fault
+// purges use it at the shard barrier; it is never on the per-cycle path.
+func (f *fifo) removeIf(victim func(*flow.Message) bool) int {
+	if f.n == 0 {
+		return 0
+	}
+	kept := make([]flow.Flit, 0, f.n)
+	f.each(func(fl *flow.Flit) {
+		if !victim(fl.Msg) {
+			kept = append(kept, *fl)
+		}
+	})
+	removed := f.n - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	f.head = 0
+	f.n = copy(f.buf, kept)
+	return removed
+}
+
 // outFifo is a fixed-capacity ring of output-buffer flits, with the same
 // slab backing, head-rewind policy, and lastPush readiness tracking as
 // fifo (the crossbar grants at most one flit per output port per cycle,
@@ -152,4 +185,36 @@ func (f *outFifo) pop() flow.Flit {
 		f.head = 0
 	}
 	return fl
+}
+
+// each visits the boxed flits in queue order.
+func (f *outFifo) each(fn func(*flow.Flit)) {
+	for i := 0; i < f.n; i++ {
+		j := f.head + i
+		if j >= len(f.buf) {
+			j -= len(f.buf)
+		}
+		fn(&f.buf[j])
+	}
+}
+
+// removeIf drops every boxed flit of a victim message, preserving the
+// order of the survivors, and returns how many flits it removed.
+func (f *outFifo) removeIf(victim func(*flow.Message) bool) int {
+	if f.n == 0 {
+		return 0
+	}
+	kept := make([]flow.Flit, 0, f.n)
+	f.each(func(fl *flow.Flit) {
+		if !victim(fl.Msg) {
+			kept = append(kept, *fl)
+		}
+	})
+	removed := f.n - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	f.head = 0
+	f.n = copy(f.buf, kept)
+	return removed
 }

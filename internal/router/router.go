@@ -151,6 +151,11 @@ type inputVC struct {
 	outVC    flow.VCID
 	outIdx   int32 // index of the claimed output VC in Router.out
 	dateline uint8
+	// msg is the message the VC is processing while phase != phaseIdle.
+	// The pipeline itself reads headers from the buffer; this pointer
+	// exists for the fault purge, which must identify the owner of claims
+	// and pipeline state after the flits that carried it are gone.
+	msg *flow.Message
 }
 
 // outputVC is the state of one output virtual channel.
@@ -238,6 +243,14 @@ type Router struct {
 	sendWorm WormSendFunc
 	creditN  CreditNFunc
 	release  ReleaseFunc
+
+	// deadPorts is the set of output ports whose link is currently failed
+	// (bit p set). The SA stage and express admission never choose a dead
+	// candidate, so a header routed by a pre-transition table one hop
+	// upstream stalls here until the epoch's Reroute refreshes it rather
+	// than sending flits into a void. Always zero without a fault
+	// schedule, so healthy runs are bit-identical.
+	deadPorts uint32
 }
 
 // New constructs a router for node id, programmed with the given table and
@@ -350,6 +363,7 @@ func (r *Router) EnqueueFlit(p topology.Port, v flow.VCID, fl flow.Flit, now int
 // startHeader moves an idle input VC into the routing pipeline for the
 // header now at the front of its buffer.
 func (r *Router) startHeader(idx int, ivc *inputVC, fl flow.Flit, now int64) {
+	ivc.msg = fl.Msg
 	ivc.dateline = fl.Msg.Dateline
 	if r.cfg.LookAhead {
 		// The header carries the candidates valid here; lookup has
@@ -509,6 +523,9 @@ func (r *Router) expressAdmit(msg *flow.Message, now int64) (expressClaim, bool)
 	var eligible uint8
 	for i := 0; !committed && i < rs.Len(); i++ {
 		c := rs.At(i)
+		if r.deadPorts&(1<<c.Port) != 0 {
+			continue
+		}
 		if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, r.adaptiveFor(c.Adaptive, msg.Class), needCredits) >= 0 {
 			eligible |= 1 << i
 		}
@@ -517,6 +534,9 @@ func (r *Router) expressAdmit(msg *flow.Message, now int64) (expressClaim, bool)
 	if eligible == 0 {
 		for i := 0; i < rs.Len(); i++ {
 			c := rs.At(i)
+			if r.deadPorts&(1<<c.Port) != 0 {
+				continue
+			}
 			if r.expressPortFree(c.Port, firstSend) && r.freeVC(c.Port, c.Escape, needCredits) >= 0 {
 				eligible |= 1 << i
 			}
@@ -580,6 +600,7 @@ func (r *Router) tryExpress(ivc *inputVC, msg *flow.Message, now int64) bool {
 	ivc.outVC = cl.vc
 	ivc.outIdx = cl.idx
 	ivc.phase = phaseExpress
+	ivc.msg = msg
 	if cl.port != topology.PortLocal {
 		r.expressOut[cl.port]++
 	}
@@ -625,6 +646,7 @@ func (r *Router) expressForward(idx int, ivc *inputVC, fl flow.Flit, now int64) 
 	if fl.Type.IsTail() {
 		ivc.phase = phaseIdle
 		ivc.route = flow.RouteSet{}
+		ivc.msg = nil
 		if p != int(topology.PortLocal) {
 			r.expressOut[p]--
 			// The tail is still upstream of the output stage until now+offS.
@@ -760,6 +782,9 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	var eligible uint8
 	for i := 0; !committed && i < rs.Len(); i++ {
 		c := rs.At(i)
+		if r.deadPorts&(1<<c.Port) != 0 {
+			continue
+		}
 		if r.freeVC(c.Port, r.adaptiveFor(c.Adaptive, class), needCredits) >= 0 {
 			eligible |= 1 << i
 		}
@@ -768,6 +793,9 @@ func (r *Router) tryAllocate(idx int, ivc *inputVC, now int64) {
 	if eligible == 0 {
 		for i := 0; i < rs.Len(); i++ {
 			c := rs.At(i)
+			if r.deadPorts&(1<<c.Port) != 0 {
+				continue
+			}
 			if r.freeVC(c.Port, c.Escape, needCredits) >= 0 {
 				eligible |= 1 << i
 			}
@@ -933,6 +961,7 @@ func (r *Router) traverse(inIdx int, ovc *outputVC, now int64) {
 		// The worm has fully left this input VC.
 		ivc.phase = phaseIdle
 		ivc.route = flow.RouteSet{}
+		ivc.msg = nil
 		r.actXB &^= 1 << inIdx
 		if !ivc.buf.empty() {
 			nxt := ivc.buf.peek()

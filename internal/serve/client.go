@@ -24,8 +24,13 @@ type Client struct {
 	// HTTP is the transport (nil: http.DefaultClient).
 	HTTP *http.Client
 	// PollInterval is the status-polling cadence while a job runs
-	// (default 150ms).
+	// (default 150ms). Wait starts at this cadence and backs off
+	// exponentially with jitter, capped at PollCap.
 	PollInterval time.Duration
+	// PollCap bounds the backed-off polling interval (default 16x
+	// PollInterval). Long jobs settle at one status request per cap
+	// instead of hammering the server at the base cadence.
+	PollCap time.Duration
 	// JobTimeout, when set, is sent as each job's deadline.
 	JobTimeout time.Duration
 	// Verbose, when non-nil, receives one summary line per completed
@@ -171,13 +176,28 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// Wait polls a job until it reaches a terminal state or ctx expires.
-// When ctx expires the job is cancelled server-side before returning,
-// so abandoned client contexts don't leave grids burning server cycles.
+// pollPolicy is Wait's cadence expressed as the executor's retry curve:
+// the first sleep is PollInterval and each further one doubles with up
+// to 50% jitter, capped at PollCap. Reusing RetryPolicy keeps the two
+// backoff behaviors in the package (point retry, status polling) on one
+// implementation.
+func (c *Client) pollPolicy() RetryPolicy {
+	p := RetryPolicy{BaseBackoff: c.poll(), MaxBackoff: c.PollCap}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 16 * c.poll()
+	}
+	return p.normalize()
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires,
+// backing the poll interval off exponentially (with jitter, capped —
+// see PollInterval/PollCap) so long-running grids cost one request per
+// cap interval rather than a constant hammering. When ctx expires the
+// job is cancelled server-side before returning, so abandoned client
+// contexts don't leave grids burning server cycles.
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
-	t := time.NewTicker(c.poll())
-	defer t.Stop()
-	for {
+	pol := c.pollPolicy()
+	for n := 1; ; n++ {
 		st, err := c.Status(ctx, id)
 		if err != nil {
 			return st, err
@@ -185,9 +205,11 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 		if st.Terminal() {
 			return st, nil
 		}
+		t := time.NewTimer(pol.backoff(n))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
+			t.Stop()
 			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			c.Cancel(cctx, id)
 			cancel()

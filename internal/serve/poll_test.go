@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaitBackoffPollCount pins the poll loop's backoff: waiting out a
+// job that runs for a fixed wall-clock span must cost a logarithmic
+// handful of status requests, not span/PollInterval of them. With a 1ms
+// base and a 16ms cap, the sleep sequence is at least 1,2,4,8,16,16,...
+// ms (jitter only lengthens sleeps), so a 300ms job is covered by at
+// most ~23 polls; the fixed-cadence loop this replaced would have used
+// ~300.
+func TestWaitBackoffPollCount(t *testing.T) {
+	t.Parallel()
+	var polls atomic.Int64
+	start := time.Now()
+	const runFor = 300 * time.Millisecond
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		st := JobStatus{ID: "j1", State: JobRunning}
+		if time.Since(start) >= runFor {
+			st.State = JobDone
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer hs.Close()
+
+	c := &Client{Base: hs.URL, PollInterval: time.Millisecond}
+	st, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job finished in state %q", st.State)
+	}
+	// Sleeps before poll n sum to >= 1+2+4+8+16*(n-5) ms, so 23 polls
+	// cover >= 303ms even with zero jitter. Leave headroom for slow CI:
+	// the point is the order of magnitude, ~25 vs ~300.
+	if got := polls.Load(); got > 40 {
+		t.Errorf("waiting out a %v job took %d polls; backoff should cap this near 23", runFor, got)
+	} else if got < 2 {
+		t.Errorf("suspiciously few polls (%d): the job cannot have been observed running", got)
+	}
+}
+
+// TestPollPolicyDefaults pins the cadence defaults: base = PollInterval
+// (150ms when unset), cap = 16x base unless PollCap overrides it.
+func TestPollPolicyDefaults(t *testing.T) {
+	t.Parallel()
+	c := &Client{}
+	p := c.pollPolicy()
+	if p.BaseBackoff != 150*time.Millisecond || p.MaxBackoff != 16*150*time.Millisecond {
+		t.Errorf("zero client: cadence %v cap %v, want 150ms cap 2.4s", p.BaseBackoff, p.MaxBackoff)
+	}
+	c = &Client{PollInterval: 10 * time.Millisecond, PollCap: 50 * time.Millisecond}
+	p = c.pollPolicy()
+	if p.BaseBackoff != 10*time.Millisecond || p.MaxBackoff != 50*time.Millisecond {
+		t.Errorf("explicit client: cadence %v cap %v, want 10ms cap 50ms", p.BaseBackoff, p.MaxBackoff)
+	}
+	// The curve itself: monotone non-decreasing and capped (jitter adds
+	// at most 50%).
+	for n := 1; n < 12; n++ {
+		d := p.backoff(n)
+		if d < p.BaseBackoff || d > p.MaxBackoff+p.MaxBackoff/2 {
+			t.Errorf("backoff(%d) = %v outside [base, 1.5*cap]", n, d)
+		}
+	}
+}
