@@ -9,6 +9,19 @@
 //	lapses-serve -addr :9000 -workers 8 -queue 4
 //	lapses-experiments -exp fig5 -server http://host:8347
 //
+// Cluster mode spreads one server's grids across machines. A
+// coordinator decomposes each submitted grid into leased work units;
+// workers claim units over HTTP, simulate them against the shared
+// store, heartbeat while running, and report per-point results back:
+//
+//	lapses-serve -mode coordinator -store /shared/lapses -lease-ttl 10s
+//	lapses-serve -mode worker -peers http://coord:8347 -store /shared/lapses
+//
+// A worker that dies mid-lease (kill -9, partition, drain) goes silent;
+// the coordinator's failure detector requeues its lease after one TTL,
+// and the re-execution serves every already-persisted point straight
+// from the store — no simulation runs twice.
+//
 // Robustness properties (see internal/serve for the mechanisms):
 //
 //   - Completed points are durable: atomic temp-file + rename writes,
@@ -24,7 +37,9 @@
 //   - Per-job deadlines (-job-timeout or per-submission) cancel runaway
 //     grids at the next point boundary.
 //   - SIGINT/SIGTERM drains gracefully: in-flight points finish and
-//     persist, queued jobs are marked interrupted and resumable.
+//     persist, queued jobs are marked interrupted and resumable. A
+//     draining worker reports its finished points and hands unstarted
+//     ones back for immediate requeue.
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,14 +59,45 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8347", "listen address")
-	storeDir := flag.String("store", "", "result-store directory (required); created if missing")
+	mode := flag.String("mode", "standalone", "role: standalone (serve and simulate in-process), coordinator (serve jobs, lease work to workers), or worker (claim leases from -peers)")
+	addr := flag.String("addr", ":8347", "listen address (standalone and coordinator modes)")
+	storeDir := flag.String("store", "", "result-store directory (required); created if missing; cluster roles share one directory")
 	workers := flag.Int("workers", 0, "concurrent simulations per job (0 = GOMAXPROCS budgeted against sharding)")
 	queue := flag.Int("queue", 16, "max jobs waiting behind the running one before submissions get 429")
-	retries := flag.Int("retries", 3, "attempts per point for transient failures (1 disables retry)")
+	retries := flag.Int("retries", 3, "attempts per point (standalone) or per lease (cluster) for transient failures (1 disables retry)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per retry, jittered, capped at 2s)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; submissions may set their own)")
+	peers := flag.String("peers", "", "comma-separated coordinator base URLs (worker mode; required there)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator mode: how long a claimed lease survives without a heartbeat before its unit is requeued")
+	heartbeat := flag.Duration("heartbeat", 0, "coordinator mode: heartbeat cadence advertised to workers (0 = lease-ttl/4; must be shorter than -lease-ttl)")
+	unitSize := flag.Int("unit", 4, "coordinator mode: grid points per lease unit")
+	workerID := flag.String("worker-id", "", "worker mode: stable identity in coordinator logs and lease ownership (default host:pid)")
 	flag.Parse()
+
+	switch *mode {
+	case "standalone", "coordinator", "worker":
+	default:
+		fatal(fmt.Errorf("-mode %q: must be standalone, coordinator, or worker", *mode))
+	}
+
+	// Reject flags that have no effect in the chosen mode — a worker
+	// started with -lease-ttl, or a coordinator with -peers, is a
+	// misunderstanding of the topology that should fail loudly at start,
+	// not silently shape nothing.
+	modeFlags := map[string]string{
+		"peers":     "worker",
+		"worker-id": "worker",
+		"lease-ttl": "coordinator",
+		"heartbeat": "coordinator",
+		"unit":      "coordinator",
+	}
+	flag.Visit(func(f *flag.Flag) {
+		want, scoped := modeFlags[f.Name]
+		if scoped && want != *mode {
+			fatal(fmt.Errorf("-%s only applies in %s mode (running in %s mode)", f.Name, want, *mode))
+		}
+	})
+
 	if *storeDir == "" {
 		fatal(fmt.Errorf("-store is required: the directory completed results persist to"))
 	}
@@ -69,6 +116,30 @@ func main() {
 	if *jobTimeout < 0 {
 		fatal(fmt.Errorf("-job-timeout %s: deadline must not be negative", *jobTimeout))
 	}
+	if *leaseTTL <= 0 {
+		fatal(fmt.Errorf("-lease-ttl %s: lease TTL must be positive", *leaseTTL))
+	}
+	if *heartbeat < 0 {
+		fatal(fmt.Errorf("-heartbeat %s: heartbeat cadence must not be negative (0 = lease-ttl/4)", *heartbeat))
+	}
+	if *heartbeat > 0 && *heartbeat >= *leaseTTL {
+		fatal(fmt.Errorf("-heartbeat %s must be shorter than -lease-ttl %s, or every healthy lease expires between beats", *heartbeat, *leaseTTL))
+	}
+	if *unitSize < 1 {
+		fatal(fmt.Errorf("-unit %d: lease unit size must be at least 1 point", *unitSize))
+	}
+
+	var peerList []string
+	if *mode == "worker" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if len(peerList) == 0 {
+			fatal(fmt.Errorf("-peers is required in worker mode: comma-separated coordinator URLs, e.g. -peers http://coord:8347"))
+		}
+	}
 
 	store, err := serve.Open(*storeDir)
 	if err != nil {
@@ -77,19 +148,33 @@ func main() {
 	st := store.Stats()
 	log.Printf("store %s: %d entries recovered, %d quarantined", *storeDir, st.Entries, st.Quarantined)
 
-	srv := serve.NewServer(store, serve.ServerOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *mode == "worker" {
+		runWorker(ctx, store, peerList, *workerID, *workers)
+		return
+	}
+
+	opt := serve.ServerOptions{
 		Workers:    *workers,
 		QueueLimit: *queue,
 		Retry:      serve.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *backoff},
 		JobTimeout: *jobTimeout,
-	})
+	}
+	if *mode == "coordinator" {
+		opt.Cluster = &serve.ClusterOptions{
+			LeaseTTL:  *leaseTTL,
+			Heartbeat: *heartbeat,
+			UnitSize:  *unitSize,
+		}
+	}
+	srv := serve.NewServer(store, opt)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("%s listening on %s", *mode, *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -109,6 +194,34 @@ func main() {
 	}
 	st = store.Stats()
 	log.Printf("drained cleanly: %d entries durable, %d simulated this run, %d served from store", st.Entries, st.Misses, st.Hits)
+}
+
+// runWorker runs the claim-execute-complete loop until the signal
+// context cancels, then drains: in-flight points finish and persist,
+// and the final completion report hands unstarted points back to the
+// coordinator for immediate requeue.
+func runWorker(ctx context.Context, store *serve.Store, peers []string, id string, workers int) {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := &serve.Worker{
+		ID:           id,
+		Coordinators: peers,
+		Store:        store,
+		Workers:      workers,
+		Verbose:      os.Stderr,
+	}
+	log.Printf("worker %s claiming from %s", id, strings.Join(peers, ", "))
+	err := w.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	st := store.Stats()
+	log.Printf("worker %s drained: %d simulated this run, %d served from store", id, st.Misses, st.Hits)
 }
 
 func fatal(err error) {

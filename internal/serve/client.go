@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +38,13 @@ type Client struct {
 	// job ("[serve job j000001: 88 points, 88 cached, 0 simulated,
 	// 0 failed]") — the store-hit evidence the CI smoke test greps.
 	Verbose io.Writer
+	// Retry shapes the transport-level retry loop wrapped around every
+	// idempotent request (Submit, Status, Results, Cancel, StoreStats,
+	// and the cluster RPCs): connection errors and 502/503/504 responses
+	// are retried with jittered exponential backoff. Zero fields default
+	// to 5 attempts from a 200ms base. Backpressure (429) is never
+	// retried here — Submit's own Retry-After loop owns that.
+	Retry RetryPolicy
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -74,7 +82,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+		// Transport-level failures (connection refused, reset, timeout)
+		// are transient by construction: the request may never have
+		// reached the server, and a healthy peer moments later will
+		// answer it. Marking them Transient lets doRetry — and any
+		// server-side runner executing through this client — retry them
+		// under the capped budget.
+		return Transient(fmt.Errorf("serve client: %s %s: %w", method, path, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -92,6 +106,62 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return fmt.Errorf("serve client: %s %s: decoding response: %w", method, path, err)
 	}
 	return nil
+}
+
+// retryPolicy is the transport-retry curve: Retry with client-appropriate
+// defaults (a little patient — 5 attempts from a 200ms base reaches ~3s
+// of cumulative waiting, enough to ride out a server restart).
+func (c *Client) retryPolicy() RetryPolicy {
+	p := c.Retry
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Millisecond
+	}
+	return p.normalize()
+}
+
+// retryableStatus reports whether a request should be retried: transport
+// errors (wrapped Transient by do) and gateway-flavored 5xx responses
+// qualify; client errors (4xx, including 429 — Submit handles that one
+// itself) and decode failures never do.
+func retryableStatus(err error) bool {
+	var ae *APIStatusError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return IsTransient(err)
+}
+
+// doRetry is do wrapped in the transport-retry loop: transient failures
+// are retried with jittered exponential backoff up to the policy's
+// attempt budget, and the last error is returned when the budget is
+// spent or ctx expires.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	pol := c.retryPolicy()
+	var lastErr error
+	for n := 1; n <= pol.MaxAttempts; n++ {
+		lastErr = c.do(ctx, method, path, body, out)
+		if lastErr == nil || !retryableStatus(lastErr) {
+			return lastErr
+		}
+		if n == pol.MaxAttempts {
+			break
+		}
+		t := time.NewTimer(pol.backoff(n))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		}
+	}
+	return lastErr
 }
 
 // APIStatusError is a non-2xx server response.
@@ -122,7 +192,7 @@ func (c *Client) Health(ctx context.Context) error {
 // StoreStats fetches the server's store counters.
 func (c *Client) StoreStats(ctx context.Context) (StoreStats, error) {
 	var st StoreStats
-	err := c.do(ctx, http.MethodGet, "/v1/store", nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/store", nil, &st)
 	return st, err
 }
 
@@ -133,12 +203,17 @@ func (c *Client) Submit(ctx context.Context, points []Point) (JobStatus, error) 
 	req := jobRequest{Points: points, TimeoutMS: int64(c.JobTimeout / time.Millisecond)}
 	for {
 		var st JobStatus
-		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+		// Submitting the same points twice is harmless — the server keys
+		// results by config, so a retried submit after an ambiguous
+		// transport failure costs at worst a duplicate job whose points
+		// are all store hits. That makes Submit safe to route through
+		// the transport-retry loop.
+		err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", req, &st)
 		if err == nil {
 			return st, nil
 		}
-		ae, ok := err.(*APIStatusError)
-		if !ok || ae.Code != http.StatusTooManyRequests {
+		var ae *APIStatusError
+		if !errors.As(err, &ae) || ae.Code != http.StatusTooManyRequests {
 			return JobStatus{}, err
 		}
 		wait := ae.RetryAfter
@@ -158,21 +233,22 @@ func (c *Client) Submit(ctx context.Context, points []Point) (JobStatus, error) 
 // Status fetches a job's progress.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
 // Results fetches a terminal job's per-point outcomes.
 func (c *Client) Results(ctx context.Context, id string) (JobResults, error) {
 	var res JobResults
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil, &res)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil, &res)
 	return res, err
 }
 
-// Cancel requests cancellation of a job.
+// Cancel requests cancellation of a job. Cancelling is idempotent
+// server-side, so it rides the transport-retry loop too.
 func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.doRetry(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 

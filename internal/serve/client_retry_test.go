@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails the first n requests at the transport layer
+// (connection-level errors, as from a restarting server), then passes
+// everything through.
+type flakyTransport struct {
+	fails atomic.Int64
+	calls atomic.Int64
+	next  http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	f.calls.Add(1)
+	if f.fails.Add(-1) >= 0 {
+		return nil, fmt.Errorf("connection reset by peer")
+	}
+	if f.next != nil {
+		return f.next.RoundTrip(r)
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// statusTransport answers every request with a fixed status code.
+type statusTransport struct {
+	code  int
+	calls atomic.Int64
+}
+
+func (s *statusTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	s.calls.Add(1)
+	return &http.Response{
+		StatusCode: s.code,
+		Body:       io.NopCloser(bytes.NewReader(nil)),
+		Header:     http.Header{},
+	}, nil
+}
+
+// TestClientRetriesTransportErrors: an idempotent request must survive a
+// couple of connection-level failures (a server restart mid-poll) by
+// retrying with backoff, without the caller seeing anything.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	t.Parallel()
+	_, c := testServer(t, t.TempDir(), ServerOptions{Runner: scripted})
+	ft := &flakyTransport{}
+	ft.fails.Store(2)
+	c.HTTP = &http.Client{Transport: ft}
+	c.Retry = RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+
+	if _, err := c.StoreStats(context.Background()); err != nil {
+		t.Fatalf("StoreStats did not survive two transport blips: %v", err)
+	}
+	if n := ft.calls.Load(); n != 3 {
+		t.Fatalf("transport saw %d calls, want 3 (two failures + success)", n)
+	}
+}
+
+// TestClientRetryBudgetExhausted: when the server never comes back, the
+// retry loop must give up after its attempt budget and surface a
+// Transient error (so server-side runners executing through the client
+// classify it correctly).
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	t.Parallel()
+	ft := &flakyTransport{}
+	ft.fails.Store(1 << 30)
+	c := &Client{
+		Base:  "http://unreachable.invalid",
+		HTTP:  &http.Client{Transport: ft},
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	}
+	_, err := c.Status(context.Background(), "j000001")
+	if err == nil {
+		t.Fatal("Status succeeded against a dead transport")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("transport failure should classify transient: %v", err)
+	}
+	if n := ft.calls.Load(); n != 3 {
+		t.Fatalf("transport saw %d calls, want exactly the 3-attempt budget", n)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors: 4xx responses are deterministic —
+// retrying a malformed request cannot help, and retrying 429 would
+// fight Submit's Retry-After loop. Exactly one request may go out.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	t.Parallel()
+	st := &statusTransport{code: http.StatusNotFound}
+	c := &Client{
+		Base:  "http://example.invalid",
+		HTTP:  &http.Client{Transport: st},
+		Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond},
+	}
+	_, err := c.Status(context.Background(), "nope")
+	var ae *APIStatusError
+	if !errors.As(err, &ae) || ae.Code != http.StatusNotFound {
+		t.Fatalf("want 404 APIStatusError, got %v", err)
+	}
+	if n := st.calls.Load(); n != 1 {
+		t.Fatalf("client retried a 404: %d requests", n)
+	}
+}
+
+// TestClientRetriesGatewayErrors: 503s (a proxy in front of a draining
+// server) are retried like transport failures.
+func TestClientRetriesGatewayErrors(t *testing.T) {
+	t.Parallel()
+	st := &statusTransport{code: http.StatusServiceUnavailable}
+	c := &Client{
+		Base:  "http://example.invalid",
+		HTTP:  &http.Client{Transport: st},
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	}
+	_, err := c.Status(context.Background(), "j000001")
+	var ae *APIStatusError
+	if !errors.As(err, &ae) || ae.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 APIStatusError, got %v", err)
+	}
+	if n := st.calls.Load(); n != 3 {
+		t.Fatalf("503 saw %d attempts, want the full 3-attempt budget", n)
+	}
+}

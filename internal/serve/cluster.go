@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// ClusterOptions turn a Server into a cluster coordinator: instead of
+// simulating jobs in-process, the coordinator decomposes each submitted
+// grid into leased work units (contiguous point ranges) that worker
+// instances claim, heartbeat, and complete over HTTP. The attempt budget
+// for requeued units reuses ServerOptions.Retry.MaxAttempts — the same
+// transient/permanent taxonomy as standalone point retry, lifted to
+// lease granularity.
+type ClusterOptions struct {
+	// LeaseTTL is how long a claimed unit stays owned without a
+	// heartbeat before the failure detector requeues it (default 10s).
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal cadence advertised to workers (default
+	// LeaseTTL/4; must be shorter than LeaseTTL).
+	Heartbeat time.Duration
+	// UnitSize is the maximum grid points per lease (default 4). Smaller
+	// units steal better; larger units amortize lease traffic.
+	UnitSize int
+}
+
+func (o ClusterOptions) normalize() ClusterOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Heartbeat <= 0 || o.Heartbeat >= o.LeaseTTL {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.UnitSize < 1 {
+		o.UnitSize = 4
+	}
+	return o
+}
+
+// Cluster wire types. A worker's conversation with the coordinator is
+// three POSTs: claim a lease, heartbeat it while simulating, complete it
+// with per-point reports.
+
+// ClaimRequest asks the coordinator for a work unit.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// ClaimResponse grants a lease (Lease non-empty) or reports no work.
+type ClaimResponse struct {
+	Lease   string  `json:"lease,omitempty"`
+	Job     string  `json:"job,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	Indices []int   `json:"indices,omitempty"`
+	Points  []Point `json:"points,omitempty"`
+	// TTLMS and HeartbeatMS tell the worker the lease contract: renew at
+	// least every HeartbeatMS or lose the lease after TTLMS of silence.
+	TTLMS       int64 `json:"ttl_ms,omitempty"`
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// RetryMS is the suggested wait before the next claim when no work
+	// was granted; Draining means the coordinator is shutting down.
+	RetryMS  int64 `json:"retry_ms,omitempty"`
+	Draining bool  `json:"draining,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse reports whether the lease is still owned. OK=false
+// tells the worker to abandon the unit: the lease expired and was
+// requeued, the job ended, or the coordinator restarted.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// PointReport is one grid point's terminal state as reported by a
+// worker. Transient marks failures the coordinator should requeue
+// (worker-side panics, serve.Transient errors, points a draining worker
+// never started); a non-transient error fails the point permanently.
+type PointReport struct {
+	Index     int          `json:"index"`
+	Result    *core.Result `json:"result,omitempty"`
+	Cached    bool         `json:"cached,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Transient bool         `json:"transient,omitempty"`
+}
+
+// CompleteRequest finishes a lease with per-point reports.
+type CompleteRequest struct {
+	Lease   string        `json:"lease"`
+	Worker  string        `json:"worker"`
+	Reports []PointReport `json:"reports"`
+}
+
+// CompleteResponse acknowledges a completion. Late means the lease had
+// already expired and been requeued; the successes were still merged
+// (first result wins, duplicates discarded).
+type CompleteResponse struct {
+	OK   bool `json:"ok"`
+	Late bool `json:"late"`
+}
+
+// ClusterStats is the coordinator's operational view, served at
+// GET /v1/cluster: the live lease picture plus cumulative counters
+// across all jobs since the process started.
+type ClusterStats struct {
+	Coordinator       bool   `json:"coordinator"`
+	ActiveJob         string `json:"active_job,omitempty"`
+	PendingUnits      int    `json:"pending_units"`
+	ActiveLeases      int    `json:"active_leases"`
+	Claims            int64  `json:"claims"`
+	OrphanRequeues    int64  `json:"orphan_requeues"`
+	TransientRequeues int64  `json:"transient_requeues"`
+	LateReports       int64  `json:"late_reports"`
+	ExhaustedUnits    int64  `json:"exhausted_units"`
+	WorkersSeen       int    `json:"workers_seen"`
+}
+
+// runClustered executes one job by leasing its grid to workers instead
+// of simulating in-process. It resolves already-stored points up front
+// (a resubmitted grid costs zero leases for completed work), chunks the
+// rest into units, serves claims/heartbeats/completions through the
+// cluster handlers, and runs the orphan-lease failure detector until
+// every point is resolved or the job context ends.
+//
+// The merge is deterministic by construction: outcomes land at their
+// grid index, each exactly once, and every simulated result is the
+// deterministic core.Run output for its config — so the merged slice is
+// byte-identical to a single-process sweep.Run of the same grid, for
+// any worker count, claim interleaving, or crash schedule.
+func (s *Server) runClustered(ctx context.Context, jb *job) ([]sweep.Outcome, error) {
+	copt := *s.opt.Cluster
+	// Resolve store-complete points before leasing anything: disk reads
+	// happen outside the lock, then the hits are recorded under it.
+	hits := make([]*core.Result, len(jb.grid))
+	for i := range jb.grid {
+		if res, ok := s.store.Get(jb.grid[i].Key()); ok {
+			r := res
+			hits[i] = &r
+		}
+	}
+
+	cg := newClusterGrid(jb.id, jb.grid, jb.points, copt.LeaseTTL, s.opt.Retry.normalize().MaxAttempts)
+	s.mu.Lock()
+	cg.onRecord = func(i int, o sweep.Outcome) { s.notePointLocked(jb, o) }
+	cg.onRequeue = func(bool) { jb.retries++ }
+	for i, res := range hits {
+		if res != nil {
+			cg.record(i, sweep.Outcome{Result: *res, Cached: true})
+		}
+	}
+	cg.seed(copt.UnitSize)
+	s.cluster = cg
+	s.mu.Unlock()
+
+	// The failure detector's scan cadence: a dead worker's lease is
+	// requeued at most TTL + scan after its last heartbeat.
+	scan := copt.LeaseTTL / 4
+	if scan < 5*time.Millisecond {
+		scan = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(scan)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cg.finished:
+			s.mu.Lock()
+			s.cluster = nil
+			s.foldClusterTotals(cg)
+			outs := cg.outs
+			s.mu.Unlock()
+			return outs, nil
+		case <-ctx.Done():
+			s.mu.Lock()
+			// Unresolved points carry the context error, without
+			// touching the job's per-point progress counters (matching
+			// sweep.Run, which never calls OnPoint for undispatched
+			// points).
+			cg.onRecord = nil
+			cg.cancel(ctx.Err())
+			s.cluster = nil
+			s.foldClusterTotals(cg)
+			outs := cg.outs
+			s.mu.Unlock()
+			return outs, ctx.Err()
+		case <-ticker.C:
+			s.mu.Lock()
+			cg.expireOrphans(time.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// foldClusterTotals accumulates a finished grid's counters into the
+// server-lifetime totals (mu held).
+func (s *Server) foldClusterTotals(cg *clusterGrid) {
+	s.ctot.Claims += cg.claims
+	s.ctot.OrphanRequeues += cg.orphanRequeues
+	s.ctot.TransientRequeues += cg.transientRequeues
+	s.ctot.LateReports += cg.lateReports
+	s.ctot.ExhaustedUnits += cg.exhaustedUnits
+}
+
+func (s *Server) notCoordinator(w http.ResponseWriter) bool {
+	if s.opt.Cluster != nil {
+		return false
+	}
+	writeJSON(w, http.StatusPreconditionFailed, apiError{Error: "this instance is not a cluster coordinator (start it with -mode coordinator)"})
+	return true
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if s.notCoordinator(w) {
+		return
+	}
+	var req ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "claim needs a worker identity"})
+		return
+	}
+	copt := *s.opt.Cluster
+	now := time.Now()
+	s.mu.Lock()
+	s.workersSeen[req.Worker] = now
+	draining := s.closed
+	cg := s.cluster
+	var u *workUnit
+	if cg != nil && !draining {
+		u = cg.claim(req.Worker, now)
+	}
+	if u == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, ClaimResponse{RetryMS: copt.Heartbeat.Milliseconds(), Draining: draining})
+		return
+	}
+	resp := ClaimResponse{
+		Lease:       u.lease,
+		Job:         cg.jobID,
+		Attempt:     u.attempt,
+		Indices:     append([]int(nil), u.indices...),
+		Points:      make([]Point, len(u.indices)),
+		TTLMS:       copt.LeaseTTL.Milliseconds(),
+		HeartbeatMS: copt.Heartbeat.Milliseconds(),
+	}
+	for j, i := range u.indices {
+		resp.Points[j] = cg.points[i]
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if s.notCoordinator(w) {
+		return
+	}
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Lease == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "heartbeat needs a lease id"})
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if req.Worker != "" {
+		s.workersSeen[req.Worker] = now
+	}
+	ok := s.cluster != nil && s.cluster.heartbeat(req.Lease, now)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatResponse{OK: ok})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if s.notCoordinator(w) {
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Lease == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("malformed completion: %v", err)})
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if req.Worker != "" {
+		s.workersSeen[req.Worker] = now
+	}
+	cg := s.cluster
+	var late bool
+	type ensureItem struct {
+		key string
+		res core.Result
+	}
+	var ensures []ensureItem
+	if cg != nil {
+		for _, rep := range req.Reports {
+			if rep.Error == "" && rep.Result != nil && rep.Index >= 0 && rep.Index < len(cg.grid) {
+				ensures = append(ensures, ensureItem{cg.grid[rep.Index].Key(), *rep.Result})
+			}
+		}
+		late = cg.complete(req.Lease, req.Reports, now)
+	} else {
+		// No job is executing (it finished, was cancelled, or the
+		// coordinator restarted): the report has nowhere to land, but
+		// that is fine — the worker's store writes are already durable,
+		// and a resubmission resolves from them.
+		late = true
+	}
+	s.mu.Unlock()
+	// Make worker-reported results durable in the coordinator's store
+	// (a no-op under a shared directory, where the worker's own write
+	// already landed). Outside the lock: this is disk I/O.
+	for _, e := range ensures {
+		s.store.Ensure(e.key, e.res)
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{OK: true, Late: late})
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.ctot
+	st.Coordinator = s.opt.Cluster != nil
+	st.WorkersSeen = len(s.workersSeen)
+	if cg := s.cluster; cg != nil {
+		st.ActiveJob = cg.jobID
+		st.PendingUnits = len(cg.pending)
+		st.ActiveLeases = len(cg.active)
+		st.Claims += cg.claims
+		st.OrphanRequeues += cg.orphanRequeues
+		st.TransientRequeues += cg.transientRequeues
+		st.LateReports += cg.lateReports
+		st.ExhaustedUnits += cg.exhaustedUnits
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Cluster RPCs as Client methods, so the worker loop and tests share
+// one wire implementation with the job-submission client.
+
+// Claim asks a coordinator for a lease. A response with an empty Lease
+// means no work is available right now.
+func (c *Client) Claim(ctx context.Context, worker string) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/claim", ClaimRequest{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Heartbeat renews a lease; ok=false means the lease is lost and the
+// unit should be abandoned.
+func (c *Client) Heartbeat(ctx context.Context, lease, worker string) (bool, error) {
+	var resp HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/heartbeat", HeartbeatRequest{Lease: lease, Worker: worker}, &resp)
+	return resp.OK, err
+}
+
+// Complete reports a lease's per-point outcomes. Retries transport
+// errors: losing a completion to a blip would cost a whole requeue
+// cycle, and re-delivery is idempotent coordinator-side.
+func (c *Client) Complete(ctx context.Context, lease, worker string, reports []PointReport) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := c.doRetry(ctx, http.MethodPost, "/v1/cluster/complete", CompleteRequest{Lease: lease, Worker: worker, Reports: reports}, &resp)
+	return resp, err
+}
+
+// ClusterStats fetches a coordinator's lease counters.
+func (c *Client) ClusterStats(ctx context.Context) (ClusterStats, error) {
+	var st ClusterStats
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}

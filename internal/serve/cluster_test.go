@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// fastCluster is a coordinator config tight enough that orphan detection
+// and requeue cycles complete within test time: 200ms TTL, 50ms
+// heartbeats, 4-point units.
+func fastCluster() *ClusterOptions {
+	return &ClusterOptions{LeaseTTL: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond, UnitSize: 4}
+}
+
+// startWorker opens its own Store over dir (the shared cluster
+// directory — a separate *Store per process, one directory, exactly the
+// deployment topology) and runs a Worker against the coordinator until
+// the returned stop function is called.
+func startWorker(t *testing.T, id, dir, coord string, runner func(core.Config) (core.Result, error)) (stop func()) {
+	t.Helper()
+	ws, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Worker{
+		ID:           id,
+		Coordinators: []string{coord},
+		Store:        ws,
+		Workers:      1,
+		Runner:       runner,
+		IdleWait:     10 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// countingRunner wraps scripted with a per-key simulation counter shared
+// across workers, so tests can assert the exactly-once-simulation
+// property: no config key is ever simulated twice cluster-wide.
+func countingRunner(counts *sync.Map) func(core.Config) (core.Result, error) {
+	return func(c core.Config) (core.Result, error) {
+		n, _ := counts.LoadOrStore(c.Key(), new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		return scripted(c)
+	}
+}
+
+func assertExactlyOnce(t *testing.T, counts *sync.Map) {
+	t.Helper()
+	counts.Range(func(k, v any) bool {
+		if n := v.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("config %v simulated %d times, want exactly 1", k, n)
+		}
+		return true
+	})
+}
+
+// TestClusterEndToEnd: a grid executed by a coordinator leasing work to
+// three workers over a shared store must merge byte-identical to the
+// same grid run in-process by sweep.Run, with no point simulated twice;
+// resubmitting the grid must lease nothing and serve purely from the
+// store.
+func TestClusterEndToEnd(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(10)
+	want, err := sweep.Run(context.Background(), grid, sweep.Options{Runner: scripted})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	srv, c := testServer(t, dir, ServerOptions{Cluster: fastCluster()})
+	if srv.Mode() != "coordinator" {
+		t.Fatalf("Mode() = %q, want coordinator", srv.Mode())
+	}
+	var counts sync.Map
+	for i := 0; i < 3; i++ {
+		startWorker(t, fmt.Sprintf("w%d", i), dir, c.Base, countingRunner(&counts))
+	}
+
+	got, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("point %d: %v", i, got[i].Err)
+		}
+		if got[i].Result != want[i].Result {
+			t.Fatalf("point %d diverged from in-process run:\nclustered  %+v\nin-process %+v", i, got[i].Result, want[i].Result)
+		}
+	}
+	assertExactlyOnce(t, &counts)
+
+	// Resubmission resolves entirely from the store before any lease is
+	// cut: all points cached, zero new simulations.
+	again, err := c.Run(context.Background(), grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if !again[i].Cached || again[i].Result != want[i].Result {
+			t.Fatalf("resubmitted point %d: cached=%v err=%v", i, again[i].Cached, again[i].Err)
+		}
+	}
+	assertExactlyOnce(t, &counts)
+
+	cs, err := c.ClusterStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Coordinator || cs.Claims == 0 || cs.WorkersSeen != 3 {
+		t.Fatalf("cluster stats: %+v", cs)
+	}
+}
+
+// TestClusterOrphanRecovery is the chaos pin: one of three workers is
+// partitioned away mid-lease (its heartbeats and completion stop
+// reaching the coordinator — the observable signature of kill -9, a
+// network partition, or a hang). The coordinator's failure detector
+// must requeue the orphaned lease within ~one TTL, the survivors must
+// finish the job, the merged results must be identical to an in-process
+// run, and no point may be simulated twice — the partitioned worker's
+// already-persisted points come back as store hits.
+func TestClusterOrphanRecovery(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(8)
+	want, err := sweep.Run(context.Background(), grid, sweep.Options{Runner: scripted})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, c := testServer(t, dir, ServerOptions{Cluster: fastCluster()})
+
+	// Worker "victim" simulates its unit's first two points normally
+	// (they persist to the shared store), then loses its network and
+	// hangs: from the coordinator's side it simply goes silent.
+	var counts sync.Map
+	count := countingRunner(&counts)
+	var severed atomic.Bool
+	hang := make(chan struct{})
+	victimKey := grid[2].Key()
+	victimRunner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Key() == victimKey {
+			severed.Store(true)
+			<-hang
+			return core.Result{}, context.Canceled
+		}
+		return count(cfg)
+	}
+	vs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &Worker{
+		ID:           "victim",
+		Coordinators: []string{c.Base},
+		Store:        vs,
+		Workers:      1,
+		Runner:       victimRunner,
+		IdleWait:     10 * time.Millisecond,
+		HTTP:         &http.Client{Transport: &severableTransport{severed: &severed}},
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	vdone := make(chan struct{})
+	go func() { defer close(vdone); victim.Run(vctx) }()
+	// Unblock the hung runner before reaping the victim goroutine —
+	// sweep.Run waits for in-flight points, so the reverse order would
+	// deadlock the cleanup.
+	t.Cleanup(func() { close(hang); vcancel(); <-vdone })
+
+	// Submit, then let the victim claim the first unit and reach its
+	// hang point before the survivors join, so the orphaned lease is
+	// guaranteed to exist.
+	st, err := c.Submit(context.Background(), mustPoints(t, grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !severed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never reached its hang point")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	startWorker(t, "survivor-1", dir, c.Base, count)
+	startWorker(t, "survivor-2", dir, c.Base, count)
+
+	// The job must complete despite the victim never reporting.
+	jobID := st.ID
+	st = waitState(t, c, jobID, func(st JobStatus) bool { return st.Terminal() })
+	if st.State != JobDone || st.Failed != 0 {
+		t.Fatalf("job ended %s with %d failures: %s", st.State, st.Failed, st.Error)
+	}
+
+	res, err := c.Results(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Outcomes[i].Error != "" {
+			t.Fatalf("point %d: %s", i, res.Outcomes[i].Error)
+		}
+		if *res.Outcomes[i].Result != want[i].Result {
+			t.Fatalf("point %d diverged after chaos:\nclustered  %+v\nin-process %+v", i, *res.Outcomes[i].Result, want[i].Result)
+		}
+	}
+	// The exactly-once pin: the victim persisted grid[0] and grid[1]
+	// before hanging; the survivor that re-executed the requeued lease
+	// must have served them from the store, not re-simulated them.
+	assertExactlyOnce(t, &counts)
+
+	cs, err := c.ClusterStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.OrphanRequeues < 1 {
+		t.Fatalf("orphaned lease was never requeued: %+v", cs)
+	}
+}
+
+// severableTransport drops every request once severed flips — the
+// worker-side view of a network partition.
+type severableTransport struct {
+	severed *atomic.Bool
+}
+
+func (s *severableTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if s.severed.Load() {
+		return nil, fmt.Errorf("network partitioned")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestClusterPanicRequeueAndReport: a point whose simulation panics on
+// every worker must (a) not kill any worker, (b) requeue as transient
+// under the capped lease-attempt budget, and (c) once the budget is
+// spent, fail permanently with the panic message surviving into the
+// job's error report. Healthy points in the same unit must still
+// succeed.
+func TestClusterPanicRequeueAndReport(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(4)
+	poison := grid[1].Key()
+
+	dir := t.TempDir()
+	_, c := testServer(t, dir, ServerOptions{
+		Cluster: fastCluster(),
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+	})
+	runner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Key() == poison {
+			panic("deliberate fault injection: simulator blew up")
+		}
+		return scripted(cfg)
+	}
+	startWorker(t, "w0", dir, c.Base, runner)
+	startWorker(t, "w1", dir, c.Base, runner)
+
+	st, err := c.Submit(context.Background(), mustPoints(t, grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, c, st.ID, func(st JobStatus) bool { return st.Terminal() })
+	// The job-level report carries the panic through the lease taxonomy.
+	if st.State != JobFailed || !strings.Contains(st.Error, "deliberate fault injection") {
+		t.Fatalf("job report: state=%s error=%q", st.State, st.Error)
+	}
+
+	res, err := c.Results(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := scripted(grid[0])
+	for _, i := range []int{0, 2, 3} {
+		if res.Outcomes[i].Error != "" {
+			t.Fatalf("healthy point %d failed: %s", i, res.Outcomes[i].Error)
+		}
+	}
+	if *res.Outcomes[0].Result != want {
+		t.Fatalf("healthy point 0 wrong result: %+v", *res.Outcomes[0].Result)
+	}
+	msg := res.Outcomes[1].Error
+	if msg == "" {
+		t.Fatal("poisoned point succeeded; the panic was swallowed")
+	}
+	if !strings.Contains(msg, "giving up after 2 lease attempts") {
+		t.Fatalf("poisoned point error lacks the attempt budget: %s", msg)
+	}
+	if !strings.Contains(msg, "deliberate fault injection") {
+		t.Fatalf("panic message did not survive into the error report: %s", msg)
+	}
+
+	cs, err := c.ClusterStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TransientRequeues < 1 || cs.ExhaustedUnits < 1 {
+		t.Fatalf("taxonomy counters: %+v", cs)
+	}
+}
+
+// TestClusterDrainRequeuesUnstarted: cancelling a worker mid-unit (the
+// graceful SIGTERM drain) must report its unstarted points transient so
+// the coordinator requeues them immediately, and another worker must
+// finish the job without waiting out the lease TTL.
+func TestClusterDrainRequeuesUnstarted(t *testing.T) {
+	t.Parallel()
+	grid := testGrid(4)
+	dir := t.TempDir()
+	// A long TTL: if drain fell back to orphan expiry, the job could not
+	// finish inside the test deadline.
+	_, c := testServer(t, dir, ServerOptions{
+		Cluster: &ClusterOptions{LeaseTTL: 30 * time.Second, Heartbeat: 20 * time.Millisecond, UnitSize: 4},
+	})
+
+	var counts sync.Map
+	count := countingRunner(&counts)
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slowKey := grid[1].Key()
+	drainRunner := func(cfg core.Config) (core.Result, error) {
+		if cfg.Key() == slowKey {
+			once.Do(func() { close(reached) })
+			<-release
+		}
+		return count(cfg)
+	}
+	stopDraining := startWorker(t, "draining", dir, c.Base, drainRunner)
+
+	points := mustPoints(t, grid)
+	st, err := c.Submit(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	<-reached
+	// SIGTERM the draining worker: its in-flight point (grid[1]) finishes
+	// and persists, and its completion hands grid[2], grid[3] back as
+	// transient for immediate requeue.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	stopDraining()
+	startWorker(t, "finisher", dir, c.Base, count)
+
+	final := waitState(t, c, st.ID, func(st JobStatus) bool { return st.Terminal() })
+	if final.State != JobDone || final.Failed != 0 {
+		t.Fatalf("job ended %s with %d failures: %s", final.State, final.Failed, final.Error)
+	}
+	assertExactlyOnce(t, &counts)
+}
+
+// TestClusterGuards: cluster RPCs against a standalone server must be
+// rejected with a descriptive 412, and malformed claims with 400.
+func TestClusterGuards(t *testing.T) {
+	t.Parallel()
+	srv, c := testServer(t, t.TempDir(), ServerOptions{Runner: scripted})
+	if srv.Mode() != "standalone" {
+		t.Fatalf("Mode() = %q, want standalone", srv.Mode())
+	}
+	_, err := c.Claim(context.Background(), "w0")
+	var ae *APIStatusError
+	if !errors.As(err, &ae) || ae.Code != http.StatusPreconditionFailed {
+		t.Fatalf("claim against standalone: %v", err)
+	}
+	if !strings.Contains(ae.Message, "-mode coordinator") {
+		t.Fatalf("412 should point at the fix: %s", ae.Message)
+	}
+
+	// A coordinator rejects an anonymous claim.
+	_, c2 := testServer(t, t.TempDir(), ServerOptions{Cluster: fastCluster()})
+	_, err = c2.Claim(context.Background(), "")
+	if !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("anonymous claim: %v", err)
+	}
+}
+
+// TestClusterHealthz: /healthz must surface the store's integrity
+// picture — quarantine count, recovery-scan time, orphaned-temp
+// removals — alongside liveness and the instance's role.
+func TestClusterHealthz(t *testing.T) {
+	t.Parallel()
+	_, c := testServer(t, t.TempDir(), ServerOptions{Cluster: fastCluster()})
+	var hr healthReport
+	if err := c.do(context.Background(), http.MethodGet, "/healthz", nil, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Mode != "coordinator" {
+		t.Fatalf("healthz: %+v", hr)
+	}
+	if hr.Store.LastScan.IsZero() {
+		t.Fatal("healthz store report lacks the recovery-scan time")
+	}
+	if hr.Store.Quarantined != 0 || hr.Store.OrphanTempsRemoved != 0 {
+		t.Fatalf("fresh store should report clean health: %+v", hr.Store)
+	}
+}
+
+// TestRangesSeam: the lease decomposition must cover every index exactly
+// once, in order, for awkward sizes too.
+func TestRangesSeam(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n, size int
+		want    [][2]int
+	}{
+		{0, 4, nil},
+		{1, 4, [][2]int{{0, 1}}},
+		{8, 4, [][2]int{{0, 4}, {4, 8}}},
+		{9, 4, [][2]int{{0, 4}, {4, 8}, {8, 9}}},
+		{3, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}}}, // size clamps to 1
+	}
+	for _, tc := range cases {
+		got := sweep.Ranges(tc.n, tc.size)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Ranges(%d,%d) = %v, want %v", tc.n, tc.size, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Ranges(%d,%d) = %v, want %v", tc.n, tc.size, got, tc.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"lapses/internal/core"
+	"lapses/internal/sweep"
+)
+
+// workUnit is one leased range of a clustered job's grid: the indices a
+// worker must resolve, how many times the unit has been claimed, and the
+// lease that currently owns it. Units start as contiguous point ranges
+// (sweep.Ranges over the unresolved grid); a requeued unit carries only
+// the indices its previous owner left unresolved.
+type workUnit struct {
+	indices []int
+	attempt int
+
+	lease   string
+	owner   string
+	expires time.Time
+	lastErr string
+}
+
+// clusterGrid is the coordinator-side lease state of one job: the grid,
+// the merged outcomes accumulating in grid order, the pending-unit queue
+// workers claim from, and the active leases being heartbeat-renewed.
+//
+// Every method requires the owning Server's mu — the coordinator's HTTP
+// handlers and the expiry scanner all mutate one clusterGrid, and the
+// Server lock is the single serialization point (lease traffic is a few
+// requests per TTL, nowhere near contention).
+//
+// The exactly-once-effect argument lives here: done[i] flips exactly
+// once per point (record discards duplicates), so no matter how claim,
+// expiry, late completion and requeue interleave, each point's outcome
+// lands once — and because re-execution of an already-persisted point is
+// a store hit, duplicated *leases* never mean duplicated *simulation*.
+type clusterGrid struct {
+	jobID  string
+	grid   []core.Config
+	points []Point
+
+	outs      []sweep.Outcome
+	done      []bool
+	remaining int
+
+	pending   []*workUnit
+	active    map[string]*workUnit
+	nextLease int64
+
+	ttl         time.Duration
+	maxAttempts int
+	cancelled   bool
+	// finished closes once every point is resolved (done, or failed
+	// permanently); the executor selects on it.
+	finished chan struct{}
+
+	// onRecord observes each resolved point (called with the Server's mu
+	// held — it must not lock); onRequeue observes each unit returned to
+	// the queue.
+	onRecord  func(i int, o sweep.Outcome)
+	onRequeue func(transient bool)
+
+	claims            int64
+	orphanRequeues    int64
+	transientRequeues int64
+	lateReports       int64
+	exhaustedUnits    int64
+}
+
+func newClusterGrid(jobID string, grid []core.Config, points []Point, ttl time.Duration, maxAttempts int) *clusterGrid {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	cg := &clusterGrid{
+		jobID:       jobID,
+		grid:        grid,
+		points:      points,
+		outs:        make([]sweep.Outcome, len(grid)),
+		done:        make([]bool, len(grid)),
+		remaining:   len(grid),
+		active:      map[string]*workUnit{},
+		ttl:         ttl,
+		maxAttempts: maxAttempts,
+		finished:    make(chan struct{}),
+	}
+	for i := range grid {
+		cg.outs[i].Config = grid[i]
+	}
+	return cg
+}
+
+// record resolves point i with o, once: duplicates (a late completion of
+// a lease that was already requeued and re-executed) are discarded, so
+// whichever report arrives first wins and the merged outcome is stable.
+func (cg *clusterGrid) record(i int, o sweep.Outcome) {
+	if i < 0 || i >= len(cg.done) || cg.done[i] {
+		return
+	}
+	o.Config = cg.grid[i]
+	cg.outs[i] = o
+	cg.done[i] = true
+	cg.remaining--
+	if cg.onRecord != nil {
+		cg.onRecord(i, o)
+	}
+	if cg.remaining == 0 {
+		close(cg.finished)
+	}
+}
+
+// seed chunks the still-unresolved indices into contiguous lease units
+// of at most unitSize points each.
+func (cg *clusterGrid) seed(unitSize int) {
+	var undone []int
+	for i, d := range cg.done {
+		if !d {
+			undone = append(undone, i)
+		}
+	}
+	for _, r := range sweep.Ranges(len(undone), unitSize) {
+		cg.pending = append(cg.pending, &workUnit{indices: undone[r[0]:r[1]]})
+	}
+}
+
+// claim hands the next pending unit to worker under a fresh lease, or
+// returns nil when there is no work (drained queue, or job cancelled).
+func (cg *clusterGrid) claim(worker string, now time.Time) *workUnit {
+	if cg.cancelled || len(cg.pending) == 0 {
+		return nil
+	}
+	u := cg.pending[0]
+	cg.pending = cg.pending[1:]
+	cg.nextLease++
+	u.lease = fmt.Sprintf("%s-l%04d", cg.jobID, cg.nextLease)
+	u.owner = worker
+	u.attempt++
+	u.expires = now.Add(cg.ttl)
+	cg.active[u.lease] = u
+	cg.claims++
+	return u
+}
+
+// heartbeat renews a lease's TTL. False tells the worker its lease is
+// gone — expired and requeued, the job finished or was cancelled, or the
+// coordinator restarted — and it should abandon the unit (everything it
+// already persisted stays durable; the re-execution will hit the store).
+func (cg *clusterGrid) heartbeat(lease string, now time.Time) bool {
+	u := cg.active[lease]
+	if u == nil || cg.cancelled {
+		return false
+	}
+	u.expires = now.Add(cg.ttl)
+	return true
+}
+
+// expireOrphans requeues every lease whose worker has gone silent past
+// its TTL — the failure detector for kill -9, network partition, and
+// hung workers alike. Returns how many leases it reaped.
+func (cg *clusterGrid) expireOrphans(now time.Time) int {
+	n := 0
+	for lease, u := range cg.active {
+		if now.After(u.expires) {
+			delete(cg.active, lease)
+			cg.orphanRequeues++
+			cg.requeue(u, fmt.Sprintf("lease %s orphaned: worker %q went silent past the %s TTL", u.lease, u.owner, cg.ttl), false)
+			n++
+		}
+	}
+	return n
+}
+
+// requeue returns a unit's unresolved indices to the pending queue — or,
+// once the attempt budget (RetryPolicy.MaxAttempts) is spent, fails them
+// permanently with the last failure's message, so a panic message from a
+// worker survives into the job's error report instead of the unit
+// bouncing forever. transientReport distinguishes worker-reported
+// transient failures from orphan detection, for the stats counters.
+func (cg *clusterGrid) requeue(u *workUnit, reason string, transientReport bool) {
+	var left []int
+	for _, i := range u.indices {
+		if !cg.done[i] {
+			left = append(left, i)
+		}
+	}
+	if len(left) == 0 {
+		return
+	}
+	if transientReport {
+		cg.transientRequeues++
+	}
+	if u.attempt >= cg.maxAttempts {
+		cg.exhaustedUnits++
+		err := fmt.Errorf("serve: cluster: giving up after %d lease attempts: %s", u.attempt, reason)
+		for _, i := range left {
+			cg.record(i, sweep.Outcome{Err: err})
+		}
+		return
+	}
+	cg.pending = append(cg.pending, &workUnit{indices: left, attempt: u.attempt, lastErr: reason})
+	if cg.onRequeue != nil {
+		cg.onRequeue(transientReport)
+	}
+}
+
+// complete applies a worker's per-point reports for a lease.
+//
+//   - Successes and permanent failures resolve their points.
+//   - Transient failures (worker-side panics, serve.Transient errors,
+//     points a draining worker never started) send the unit's leftovers
+//     back through requeue, under the capped attempt budget.
+//   - A late report — the lease already expired and was requeued — still
+//     resolves its successes: re-execution is idempotent, record discards
+//     whichever copy arrives second, and the slow-but-alive worker's
+//     results are not thrown away. Late failure reports are ignored; the
+//     requeued unit owns those points now.
+//
+// Returns whether the report was late.
+func (cg *clusterGrid) complete(lease string, reports []PointReport, now time.Time) (late bool) {
+	u := cg.active[lease]
+	late = u == nil
+	if late {
+		cg.lateReports++
+	} else {
+		delete(cg.active, lease)
+	}
+	firstTransient := ""
+	for _, r := range reports {
+		switch {
+		case r.Error == "":
+			if r.Result != nil {
+				cg.record(r.Index, sweep.Outcome{Result: *r.Result, Cached: r.Cached})
+			}
+		case r.Transient:
+			if firstTransient == "" {
+				firstTransient = r.Error
+			}
+		default:
+			cg.record(r.Index, sweep.Outcome{Err: fmt.Errorf("%s", r.Error)})
+		}
+	}
+	if u != nil {
+		// Whatever the unit still owes — reported transient, or simply
+		// never reported (a worker that drained mid-unit reports only
+		// what finished) — goes back through the capped requeue.
+		reason := firstTransient
+		if reason == "" {
+			reason = fmt.Sprintf("lease %s returned without resolving all points", lease)
+		}
+		cg.requeue(u, reason, firstTransient != "")
+	}
+	return late
+}
+
+// cancel marks the grid cancelled: claims stop, heartbeats answer false,
+// and every unresolved point is recorded with err (in index order, so
+// the merge stays deterministic even for aborted jobs).
+func (cg *clusterGrid) cancel(err error) {
+	if cg.cancelled {
+		return
+	}
+	cg.cancelled = true
+	cg.pending = nil
+	for i := range cg.done {
+		if !cg.done[i] {
+			cg.record(i, sweep.Outcome{Err: err})
+		}
+	}
+}

@@ -42,11 +42,19 @@ type ServerOptions struct {
 	// Runner replaces core.Run for every point — the test seam for
 	// scripted results, injected transient failures and blocking points.
 	Runner func(core.Config) (core.Result, error)
+	// Cluster, when non-nil, makes this server a cluster coordinator:
+	// jobs are decomposed into leased work units executed by Worker
+	// instances instead of simulating in-process. See ClusterOptions.
+	Cluster *ClusterOptions
 }
 
 func (o ServerOptions) normalize() ServerOptions {
 	if o.QueueLimit < 1 {
 		o.QueueLimit = 16
+	}
+	if o.Cluster != nil {
+		c := o.Cluster.normalize()
+		o.Cluster = &c
 	}
 	return o
 }
@@ -88,17 +96,24 @@ type Server struct {
 	closed   bool
 	draining chan struct{}
 	execDone chan struct{}
+
+	// Coordinator-mode lease state: the running job's grid (nil between
+	// jobs), lifetime counters, and last-seen worker identities.
+	cluster     *clusterGrid
+	ctot        ClusterStats
+	workersSeen map[string]time.Time
 }
 
 // NewServer starts a server executing jobs against store. Call Shutdown
 // to drain it.
 func NewServer(store *Store, opt ServerOptions) *Server {
 	s := &Server{
-		store:    store,
-		opt:      opt.normalize(),
-		jobs:     map[string]*job{},
-		draining: make(chan struct{}),
-		execDone: make(chan struct{}),
+		store:       store,
+		opt:         opt.normalize(),
+		jobs:        map[string]*job{},
+		draining:    make(chan struct{}),
+		execDone:    make(chan struct{}),
+		workersSeen: map[string]time.Time{},
 	}
 	s.queue = make(chan *job, s.opt.QueueLimit)
 	s.mux = http.NewServeMux()
@@ -108,8 +123,21 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/store", s.handleStore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/cluster/claim", s.handleClaim)
+	s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /v1/cluster/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	go s.runExecutor()
 	return s
+}
+
+// Mode reports how this server executes jobs: "coordinator" when
+// cluster options are set, "standalone" otherwise.
+func (s *Server) Mode() string {
+	if s.opt.Cluster != nil {
+		return "coordinator"
+	}
+	return "standalone"
 }
 
 // Handler returns the HTTP API.
@@ -179,12 +207,18 @@ func (s *Server) execute(jb *job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	outs, runErr := sweep.Run(jctx, jb.grid, sweep.Options{
-		Workers: s.opt.Workers,
-		Cache:   s.store,
-		Runner:  s.retryRunner(jctx, jb),
-		OnPoint: func(i int, o sweep.Outcome) { s.notePoint(jb, o) },
-	})
+	var outs []sweep.Outcome
+	var runErr error
+	if s.opt.Cluster != nil {
+		outs, runErr = s.runClustered(jctx, jb)
+	} else {
+		outs, runErr = sweep.Run(jctx, jb.grid, sweep.Options{
+			Workers: s.opt.Workers,
+			Cache:   s.store,
+			Runner:  s.retryRunner(jctx, jb),
+			OnPoint: func(i int, o sweep.Outcome) { s.notePoint(jb, o) },
+		})
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -224,6 +258,12 @@ func firstFailure(outs []sweep.Outcome, failed int) string {
 func (s *Server) notePoint(jb *job, o sweep.Outcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.notePointLocked(jb, o)
+}
+
+// notePointLocked is notePoint with s.mu already held — the form the
+// cluster lease machinery uses, since it resolves points under the lock.
+func (s *Server) notePointLocked(jb *job, o sweep.Outcome) {
 	jb.completed++
 	switch {
 	case o.Err != nil:
@@ -469,6 +509,16 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
+// healthReport is the GET /healthz payload: liveness plus the store's
+// integrity picture (quarantines, recovery-scan time, orphaned-temp
+// deletions), so a cluster operator sees silent corruption at the same
+// endpoint a load balancer probes.
+type healthReport struct {
+	Status string     `json:"status"`
+	Mode   string     `json:"mode"`
+	Store  StoreStats `json:"store"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
@@ -477,7 +527,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "shutting down"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthReport{Status: "ok", Mode: s.Mode(), Store: s.store.Stats()})
 }
 
 // Status returns a job's status by ID, for in-process embedding.

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"lapses/internal/core"
 )
@@ -53,10 +54,13 @@ type Store struct {
 	index   map[string]struct{}
 	tmpSeq  int64
 
+	scanTime time.Time
+
 	hits        int64
 	misses      int64
 	quarantined int64
 	putFailures int64
+	orphanTemps int64
 }
 
 // storeFlight is one in-flight simulation other requests wait on.
@@ -101,9 +105,10 @@ func entrySum(key string, result []byte) string {
 // The returned store serves only entries that passed verification.
 func Open(dir string) (*Store, error) {
 	s := &Store{
-		dir:     dir,
-		flights: map[string]*storeFlight{},
-		index:   map[string]struct{}{},
+		dir:      dir,
+		flights:  map[string]*storeFlight{},
+		index:    map[string]struct{}{},
+		scanTime: time.Now(),
 	}
 	for _, d := range []string{filepath.Join(dir, objectsDir), filepath.Join(dir, quarantineDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -124,6 +129,7 @@ func Open(dir string) (*Store, error) {
 			// A temp file from an interrupted write: the rename never
 			// happened, so the entry was never promised durable.
 			os.Remove(path)
+			s.orphanTemps++
 			continue
 		}
 		raw, err := os.ReadFile(path)
@@ -267,6 +273,15 @@ func (s *Store) put(key string, res core.Result) error {
 // disk or from a concurrent in-flight simulation of the same key.
 // Errors are not stored; waiters of a failing in-flight point receive
 // its error, and a later request retries. Do implements sweep.Cacher.
+//
+// The disk is always consulted before a simulation starts, even for
+// keys this process has never indexed: when several processes share one
+// store directory (the cluster's shared-store topology), an entry
+// written by a sibling after this store opened is found and served
+// rather than re-simulated. The only cross-process duplication left is
+// two processes simulating the same key concurrently — both write the
+// same bytes (the simulator is deterministic), so the last rename wins
+// harmlessly.
 func (s *Store) Do(ctx context.Context, cfg core.Config, run func(core.Config) (core.Result, error)) (core.Result, bool, error) {
 	key := cfg.Key()
 	for {
@@ -287,52 +302,106 @@ func (s *Store) Do(ctx context.Context, cfg core.Config, run func(core.Config) (
 				return core.Result{}, false, ctx.Err()
 			}
 		}
-		_, onDisk := s.index[key]
-		if !onDisk {
-			// Become the leader for this key.
-			f := &storeFlight{done: make(chan struct{})}
-			s.flights[key] = f
-			s.misses++
-			s.mu.Unlock()
-
-			f.res, f.err = run(cfg)
-			if f.err == nil {
-				if perr := s.put(key, f.res); perr != nil {
-					// The result is still valid; only durability was
-					// lost. Count it so operators see the disk problem.
-					s.mu.Lock()
-					s.putFailures++
-					s.mu.Unlock()
-				}
-			}
-			s.mu.Lock()
-			delete(s.flights, key)
-			s.mu.Unlock()
-			close(f.done)
-			return f.res, false, f.err
-		}
 		s.mu.Unlock()
 		if res, ok := s.lookup(key); ok {
 			s.mu.Lock()
 			s.hits++
+			s.index[key] = struct{}{}
 			s.mu.Unlock()
 			return res, true, nil
 		}
-		// The indexed entry turned out corrupt (quarantined by lookup)
-		// or vanished; loop to take the leader slot and re-simulate.
+		// Nothing usable on disk (missing, or corrupt and now
+		// quarantined): race for the leader slot and simulate.
+		s.mu.Lock()
+		if _, ok := s.flights[key]; ok {
+			// Another goroutine became leader between the lookup and
+			// here; loop to wait on its flight.
+			s.mu.Unlock()
+			continue
+		}
+		f := &storeFlight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.misses++
+		s.mu.Unlock()
+
+		f.res, f.err = run(cfg)
+		if f.err == nil {
+			if perr := s.put(key, f.res); perr != nil {
+				// The result is still valid; only durability was
+				// lost. Count it so operators see the disk problem.
+				s.mu.Lock()
+				s.putFailures++
+				s.mu.Unlock()
+			}
+		}
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
+	}
+}
+
+// Get returns the stored result for key if a verified entry exists,
+// without simulating or joining a flight. It reads through to disk, so
+// entries written by sibling processes sharing the directory are found.
+// The cluster coordinator uses it to resolve already-stored points of a
+// submitted grid before leasing anything out.
+func (s *Store) Get(key string) (core.Result, bool) {
+	res, ok := s.lookup(key)
+	if !ok {
+		return core.Result{}, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.index[key] = struct{}{}
+	s.mu.Unlock()
+	return res, true
+}
+
+// Ensure makes res durable under key if no entry exists yet. The
+// cluster coordinator calls it for every worker-reported result so the
+// coordinator's store stays authoritative even when workers persist to
+// their own directories; under a shared directory the entry usually
+// already exists and Ensure is a no-op. A failed write degrades to the
+// PutFailures counter exactly like Do's put path — the in-memory result
+// is still correct, only durability was lost.
+func (s *Store) Ensure(key string, res core.Result) {
+	s.mu.Lock()
+	_, indexed := s.index[key]
+	s.mu.Unlock()
+	if indexed {
+		return
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, objectsDir, objName(key))); err == nil {
+		// A sibling process already wrote it; index and move on.
+		s.mu.Lock()
+		s.index[key] = struct{}{}
+		s.mu.Unlock()
+		return
+	}
+	if err := s.put(key, res); err != nil {
+		s.mu.Lock()
+		s.putFailures++
+		s.mu.Unlock()
 	}
 }
 
 // StoreStats is a point-in-time counter snapshot. Hits and Misses count
 // this process's lookups; Entries the keys currently verified durable;
 // Quarantined corrupt entries set aside (at Open or on read);
-// PutFailures completed points whose durable write failed.
+// PutFailures completed points whose durable write failed. LastScan and
+// OrphanTempsRemoved describe the startup recovery scan — surfaced in
+// GET /healthz and GET /v1/store so an operator sees silent corruption
+// (quarantines, interrupted writes) without grepping logs.
 type StoreStats struct {
-	Entries     int   `json:"entries"`
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Quarantined int64 `json:"quarantined"`
-	PutFailures int64 `json:"put_failures"`
+	Entries            int       `json:"entries"`
+	Hits               int64     `json:"hits"`
+	Misses             int64     `json:"misses"`
+	Quarantined        int64     `json:"quarantined"`
+	PutFailures        int64     `json:"put_failures"`
+	LastScan           time.Time `json:"last_scan"`
+	OrphanTempsRemoved int64     `json:"orphan_temps_removed"`
 }
 
 // Stats returns the current counters.
@@ -340,11 +409,13 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Entries:     len(s.index),
-		Hits:        s.hits,
-		Misses:      s.misses,
-		Quarantined: s.quarantined,
-		PutFailures: s.putFailures,
+		Entries:            len(s.index),
+		Hits:               s.hits,
+		Misses:             s.misses,
+		Quarantined:        s.quarantined,
+		PutFailures:        s.putFailures,
+		LastScan:           s.scanTime,
+		OrphanTempsRemoved: s.orphanTemps,
 	}
 }
 

@@ -227,6 +227,60 @@ func TestStoreTempFileCleanup(t *testing.T) {
 	if st := s.Stats(); st.Quarantined != 0 {
 		t.Fatalf("temp cleanup counted as quarantine: %+v", st)
 	}
+	// The recovery scan's work is part of the store's health report.
+	if st := s.Stats(); st.OrphanTempsRemoved != 1 || st.LastScan.IsZero() {
+		t.Fatalf("recovery scan not surfaced in stats: %+v", st)
+	}
+}
+
+// TestStoreSharedDirectory: two Store instances over one directory (a
+// cluster coordinator and a worker, or two workers) see each other's
+// writes — the second Do for a key another instance persisted is a disk
+// hit, not a second simulation. This is the property that makes
+// requeued cluster leases free for already-persisted points.
+func TestStoreSharedDirectory(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeConfig(7)
+	var calls atomic.Int64
+	run := func(c core.Config) (core.Result, error) { calls.Add(1); return scripted(c) }
+
+	want, _, err := s1.Do(context.Background(), cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2 has never seen this key in memory; it must find s1's write on
+	// disk instead of simulating.
+	got, cached, err := s2.Do(context.Background(), cfg, run)
+	if err != nil || !cached || got != want {
+		t.Fatalf("sibling write not found: res=%+v cached=%v err=%v", got, cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner ran %d times across the shared directory, want 1", calls.Load())
+	}
+
+	// Get reads through the same path without simulating.
+	res, ok := s2.Get(cfg.Key())
+	if !ok || res != want {
+		t.Fatalf("Get(%s) = %+v ok=%v", cfg.Key(), res, ok)
+	}
+	// Ensure on an already-present key is a no-op (no duplicate write,
+	// no error), and on a fresh key makes it durable.
+	s2.Ensure(cfg.Key(), want)
+	other := storeConfig(8)
+	ores, _ := scripted(other)
+	s2.Ensure(other.Key(), ores)
+	if got, ok := s1.Get(other.Key()); !ok || got != ores {
+		t.Fatalf("Ensure'd entry not visible to sibling: %+v ok=%v", got, ok)
+	}
 }
 
 // TestStoreMisnamedEntry: a valid entry under the wrong filename (say,

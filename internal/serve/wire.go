@@ -22,7 +22,20 @@
 //   - client.go: Client, the thin consumer the CLIs use
 //     (lapses-experiments -server); Client.Sweep satisfies
 //     sweep.RunFunc, so grids and bisection probes route through a
-//     server unchanged.
+//     server unchanged. Idempotent requests ride a transport-retry
+//     loop (connection errors and gateway 5xx, jittered backoff).
+//   - cluster.go / lease.go / worker.go: cluster mode. One server
+//     instance runs in one of three roles. Standalone (the default)
+//     simulates jobs in-process. A coordinator (ServerOptions.Cluster
+//     set) accepts the same jobs but decomposes each grid into leased
+//     work units that Worker instances claim, heartbeat and complete
+//     over HTTP; a lease whose worker goes silent past its TTL is
+//     requeued by the coordinator's failure detector, under the same
+//     capped transient/permanent taxonomy as point retry. A worker
+//     runs no HTTP server at all — just the claim-execute-complete
+//     loop, simulating against the shared Store so every finished
+//     point is durable before it is reported and re-executing a
+//     requeued lease costs zero re-simulation for persisted points.
 package serve
 
 import (
