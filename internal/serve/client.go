@@ -82,9 +82,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		// Transport-level failures (connection refused, reset, timeout)
-		// are transient by construction: the request may never have
-		// reached the server, and a healthy peer moments later will
+		// A request killed by its own context is not a server fault:
+		// retrying a deliberate cancellation (or an expired deadline)
+		// just burns a backoff cycle before every consumer of the
+		// IsTransient taxonomy notices the dead ctx.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+		}
+		// Other transport-level failures (connection refused, reset,
+		// timeout) are transient by construction: the request may never
+		// have reached the server, and a healthy peer moments later will
 		// answer it. Marking them Transient lets doRetry — and any
 		// server-side runner executing through this client — retry them
 		// under the capped budget.

@@ -91,6 +91,34 @@ func TestClientRetryBudgetExhausted(t *testing.T) {
 	}
 }
 
+// TestClientCancellationNotTransient: a request killed by its own
+// context must not classify transient — a deliberate cancellation is
+// not a server fault, and wrapping it Transient would make retry loops
+// (the client's own, or a server-side runner executing through this
+// client) burn a backoff cycle before noticing the dead ctx.
+func TestClientCancellationNotTransient(t *testing.T) {
+	t.Parallel()
+	ft := &flakyTransport{}
+	ft.fails.Store(1 << 30)
+	c := &Client{
+		Base:  "http://unreachable.invalid",
+		HTTP:  &http.Client{Transport: ft},
+		Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Status(ctx, "j000001")
+	if err == nil {
+		t.Fatal("Status succeeded on a cancelled context")
+	}
+	if IsTransient(err) {
+		t.Fatalf("cancellation classified transient: %v", err)
+	}
+	if n := ft.calls.Load(); n != 1 {
+		t.Fatalf("cancelled request was retried: %d attempts", n)
+	}
+}
+
 // TestClientDoesNotRetryClientErrors: 4xx responses are deterministic —
 // retrying a malformed request cannot help, and retrying 429 would
 // fight Submit's Retry-After loop. Exactly one request may go out.

@@ -53,6 +53,9 @@ type ClaimRequest struct {
 }
 
 // ClaimResponse grants a lease (Lease non-empty) or reports no work.
+// Job is the job's cluster-wide identity (the job ID qualified by the
+// coordinator's incarnation epoch); the worker must echo it back in the
+// lease's CompleteRequest.
 type ClaimResponse struct {
 	Lease   string  `json:"lease,omitempty"`
 	Job     string  `json:"job,omitempty"`
@@ -94,9 +97,15 @@ type PointReport struct {
 	Transient bool         `json:"transient,omitempty"`
 }
 
-// CompleteRequest finishes a lease with per-point reports.
+// CompleteRequest finishes a lease with per-point reports. Job must be
+// the ClaimResponse.Job the lease was granted under: a completion whose
+// Job does not match the running job is dropped wholesale (reported
+// Late), because its indices point into a different grid — without the
+// check, a completion arriving after a job transition would merge one
+// job's results into another job's points.
 type CompleteRequest struct {
 	Lease   string        `json:"lease"`
+	Job     string        `json:"job"`
 	Worker  string        `json:"worker"`
 	Reports []PointReport `json:"reports"`
 }
@@ -122,7 +131,32 @@ type ClusterStats struct {
 	TransientRequeues int64  `json:"transient_requeues"`
 	LateReports       int64  `json:"late_reports"`
 	ExhaustedUnits    int64  `json:"exhausted_units"`
-	WorkersSeen       int    `json:"workers_seen"`
+	// WorkersSeen counts live worker identities: those heard from within
+	// the last few lease TTLs. Older identities are pruned, so worker
+	// restarts (each restart is a fresh host:pid identity by default) do
+	// not grow the coordinator's memory or inflate the stat forever.
+	WorkersSeen int `json:"workers_seen"`
+}
+
+// workerSeenHorizon is how long a silent worker identity stays in
+// workersSeen before the coordinator forgets it, as a multiple of the
+// lease TTL. Anything alive claims or heartbeats far more often than
+// this; anything silent past it is gone (crashed, drained, restarted
+// under a new identity).
+const workerSeenHorizon = 4
+
+// pruneWorkersLocked forgets worker identities not heard from within
+// workerSeenHorizon lease TTLs (mu held).
+func (s *Server) pruneWorkersLocked(now time.Time) {
+	if s.opt.Cluster == nil {
+		return
+	}
+	cutoff := now.Add(-workerSeenHorizon * s.opt.Cluster.LeaseTTL)
+	for id, seen := range s.workersSeen {
+		if seen.Before(cutoff) {
+			delete(s.workersSeen, id)
+		}
+	}
 }
 
 // runClustered executes one job by leasing its grid to workers instead
@@ -149,7 +183,7 @@ func (s *Server) runClustered(ctx context.Context, jb *job) ([]sweep.Outcome, er
 		}
 	}
 
-	cg := newClusterGrid(jb.id, jb.grid, jb.points, copt.LeaseTTL, s.opt.Retry.normalize().MaxAttempts)
+	cg := newClusterGrid(jb.id, s.epoch, jb.grid, jb.points, copt.LeaseTTL, s.opt.Retry.normalize().MaxAttempts)
 	s.mu.Lock()
 	cg.onRecord = func(i int, o sweep.Outcome) { s.notePointLocked(jb, o) }
 	cg.onRequeue = func(bool) { jb.retries++ }
@@ -193,8 +227,10 @@ func (s *Server) runClustered(ctx context.Context, jb *job) ([]sweep.Outcome, er
 			s.mu.Unlock()
 			return outs, ctx.Err()
 		case <-ticker.C:
+			now := time.Now()
 			s.mu.Lock()
-			cg.expireOrphans(time.Now())
+			cg.expireOrphans(now)
+			s.pruneWorkersLocked(now)
 			s.mu.Unlock()
 		}
 	}
@@ -244,7 +280,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ClaimResponse{
 		Lease:       u.lease,
-		Job:         cg.jobID,
+		Job:         cg.token,
 		Attempt:     u.attempt,
 		Indices:     append([]int(nil), u.indices...),
 		Points:      make([]Point, len(u.indices)),
@@ -298,14 +334,25 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		res core.Result
 	}
 	var ensures []ensureItem
-	if cg != nil {
+	switch {
+	case cg != nil && req.Job == cg.token:
 		for _, rep := range req.Reports {
 			if rep.Error == "" && rep.Result != nil && rep.Index >= 0 && rep.Index < len(cg.grid) {
 				ensures = append(ensures, ensureItem{cg.grid[rep.Index].Key(), *rep.Result})
 			}
 		}
 		late = cg.complete(req.Lease, req.Reports, now)
-	} else {
+	case cg != nil:
+		// The report belongs to a different job (its lease was granted
+		// before a job transition, or by a previous coordinator
+		// incarnation). Its indices point into that job's grid, not this
+		// one's — recording or ensuring anything here would stamp one
+		// job's results onto another job's configs. Drop it wholesale:
+		// the worker's own store writes are already durable, and the
+		// old job's requeue/resubmission path resolves from them.
+		cg.lateReports++
+		late = true
+	default:
 		// No job is executing (it finished, was cancelled, or the
 		// coordinator restarted): the report has nowhere to land, but
 		// that is fine — the worker's store writes are already durable,
@@ -324,6 +371,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	s.pruneWorkersLocked(time.Now())
 	st := s.ctot
 	st.Coordinator = s.opt.Cluster != nil
 	st.WorkersSeen = len(s.workersSeen)
@@ -360,12 +408,13 @@ func (c *Client) Heartbeat(ctx context.Context, lease, worker string) (bool, err
 	return resp.OK, err
 }
 
-// Complete reports a lease's per-point outcomes. Retries transport
+// Complete reports a lease's per-point outcomes. job must be the
+// ClaimResponse.Job the lease was granted under. Retries transport
 // errors: losing a completion to a blip would cost a whole requeue
 // cycle, and re-delivery is idempotent coordinator-side.
-func (c *Client) Complete(ctx context.Context, lease, worker string, reports []PointReport) (CompleteResponse, error) {
+func (c *Client) Complete(ctx context.Context, lease, job, worker string, reports []PointReport) (CompleteResponse, error) {
 	var resp CompleteResponse
-	err := c.doRetry(ctx, http.MethodPost, "/v1/cluster/complete", CompleteRequest{Lease: lease, Worker: worker, Reports: reports}, &resp)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/cluster/complete", CompleteRequest{Lease: lease, Job: job, Worker: worker, Reports: reports}, &resp)
 	return resp, err
 }
 

@@ -243,6 +243,166 @@ func TestClusterOrphanRecovery(t *testing.T) {
 	}
 }
 
+// TestClusterStaleJobCompletionDropped: a completion from a lease
+// granted under an earlier job must be dropped wholesale when it arrives
+// after a job transition — its indices point into the old job's grid, so
+// merging it would stamp job A's results onto job B's configs and
+// persist them under B's keys. The coordinator must answer Late, record
+// nothing, and job B must still produce its own results.
+func TestClusterStaleJobCompletionDropped(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, c := testServer(t, dir, ServerOptions{Cluster: fastCluster()})
+	ctx := context.Background()
+
+	// Job A: submitted with no workers attached; claim its unit by hand.
+	gridA := testGrid(4)
+	stA, err := c.Submit(ctx, mustPoints(t, gridA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grantA := claimUntilGranted(t, c, "stale-worker")
+
+	// Job A ends (cancelled) and job B — different configs — takes over.
+	if _, err := c.Cancel(ctx, stA.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, stA.ID, func(st JobStatus) bool { return st.Terminal() })
+	gridB := testGrid(4)
+	for i := range gridB {
+		gridB[i].Seed += 1000 // distinct configs, distinct store keys
+	}
+	stB, err := c.Submit(ctx, mustPoints(t, gridB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, stB.ID, func(st JobStatus) bool { return st.State == JobRunning })
+
+	// The stale worker finally reports job A's lease, carrying a poison
+	// result at index 0. Pre-fix this was record()ed into job B's grid
+	// and Ensure()d into the store under B's config key.
+	poison := core.Result{AvgLatency: -999, Delivered: -1}
+	resp, err := c.Complete(ctx, grantA.Lease, grantA.Job, "stale-worker", []PointReport{
+		{Index: grantA.Indices[0], Result: &poison},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Late {
+		t.Fatalf("stale-job completion not reported late: %+v", resp)
+	}
+	st, err := c.Status(ctx, stB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("stale-job completion resolved %d of job B's points", st.Completed)
+	}
+
+	// Job B completes normally and its results are its own — not job A's
+	// poison, neither merged directly nor resurrected via the store.
+	grantB := claimUntilGranted(t, c, "fresh-worker")
+	reports := make([]PointReport, len(grantB.Indices))
+	for j, idx := range grantB.Indices {
+		cfg, err := grantB.Points[j].Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := scripted(cfg)
+		reports[j] = PointReport{Index: idx, Result: &res}
+	}
+	if _, err := c.Complete(ctx, grantB.Lease, grantB.Job, "fresh-worker", reports); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, c, stB.ID, func(st JobStatus) bool { return st.Terminal() })
+	if final.State != JobDone || final.Failed != 0 {
+		t.Fatalf("job B ended %s with %d failures: %s", final.State, final.Failed, final.Error)
+	}
+	res, err := c.Results(ctx, stB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gridB {
+		want, _ := scripted(gridB[i])
+		if *res.Outcomes[i].Result != want {
+			t.Fatalf("job B point %d poisoned by job A's stale completion: %+v", i, *res.Outcomes[i].Result)
+		}
+	}
+
+	cs, err := c.ClusterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.LateReports < 1 {
+		t.Fatalf("stale-job completion not counted late: %+v", cs)
+	}
+}
+
+// claimUntilGranted claims as worker until the coordinator grants a
+// lease (the submitted job may still be dequeuing).
+func claimUntilGranted(t *testing.T, c *Client, worker string) ClaimResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		grant, err := c.Claim(context.Background(), worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grant.Lease != "" {
+			return grant
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no lease granted within the deadline")
+	return ClaimResponse{}
+}
+
+// TestClusterLeaseEpoch: lease identities must be unique across
+// coordinator incarnations — two servers over the same store mint
+// different epochs, so a stale lease from incarnation one can neither
+// renew nor complete against incarnation two even though job IDs restart
+// from j000001.
+func TestClusterLeaseEpoch(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, c1 := testServer(t, dir, ServerOptions{Cluster: fastCluster()})
+	_, c2 := testServer(t, t.TempDir(), ServerOptions{Cluster: fastCluster()})
+	ctx := context.Background()
+	grid := testGrid(2)
+
+	if _, err := c1.Submit(ctx, mustPoints(t, grid)); err != nil {
+		t.Fatal(err)
+	}
+	g1 := claimUntilGranted(t, c1, "w")
+	if _, err := c2.Submit(ctx, mustPoints(t, grid)); err != nil {
+		t.Fatal(err)
+	}
+	g2 := claimUntilGranted(t, c2, "w")
+	if g1.Lease == g2.Lease || g1.Job == g2.Job {
+		t.Fatalf("lease identity collided across incarnations: %q/%q vs %q/%q", g1.Lease, g1.Job, g2.Lease, g2.Job)
+	}
+
+	// Incarnation two must refuse the stale incarnation's lease outright.
+	if ok, err := c2.Heartbeat(ctx, g1.Lease, "w"); err != nil || ok {
+		t.Fatalf("stale-incarnation heartbeat renewed a lease: ok=%v err=%v", ok, err)
+	}
+	poison := core.Result{AvgLatency: -1}
+	resp, err := c2.Complete(ctx, g1.Lease, g1.Job, "w", []PointReport{{Index: 0, Result: &poison}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Late {
+		t.Fatal("stale-incarnation completion was accepted as current")
+	}
+	st, err := c2.Status(ctx, "j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("stale-incarnation completion resolved %d points", st.Completed)
+	}
+}
+
 // severableTransport drops every request once severed flips — the
 // worker-side view of a network partition.
 type severableTransport struct {

@@ -38,7 +38,13 @@ type workUnit struct {
 // lands once — and because re-execution of an already-persisted point is
 // a store hit, duplicated *leases* never mean duplicated *simulation*.
 type clusterGrid struct {
-	jobID  string
+	jobID string
+	// token is the job's cluster-wide identity: the job ID qualified by
+	// the coordinator's per-process epoch. Lease IDs are minted under it
+	// and workers echo it back in completions, so grants from a previous
+	// coordinator incarnation (job IDs restart from j000001 after a
+	// restart) can never collide with — or be merged into — a fresh job.
+	token  string
 	grid   []core.Config
 	points []Point
 
@@ -70,12 +76,13 @@ type clusterGrid struct {
 	exhaustedUnits    int64
 }
 
-func newClusterGrid(jobID string, grid []core.Config, points []Point, ttl time.Duration, maxAttempts int) *clusterGrid {
+func newClusterGrid(jobID, epoch string, grid []core.Config, points []Point, ttl time.Duration, maxAttempts int) *clusterGrid {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	cg := &clusterGrid{
 		jobID:       jobID,
+		token:       jobID + "." + epoch,
 		grid:        grid,
 		points:      points,
 		outs:        make([]sweep.Outcome, len(grid)),
@@ -134,7 +141,7 @@ func (cg *clusterGrid) claim(worker string, now time.Time) *workUnit {
 	u := cg.pending[0]
 	cg.pending = cg.pending[1:]
 	cg.nextLease++
-	u.lease = fmt.Sprintf("%s-l%04d", cg.jobID, cg.nextLease)
+	u.lease = fmt.Sprintf("%s-l%04d", cg.token, cg.nextLease)
 	u.owner = worker
 	u.attempt++
 	u.expires = now.Add(cg.ttl)

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +13,17 @@ import (
 	"lapses/internal/core"
 	"lapses/internal/sweep"
 )
+
+// newEpoch mints the coordinator's per-process incarnation token.
+func newEpoch() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock: uniqueness across incarnations is all
+		// that is needed, not unpredictability.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Job states. A job is terminal in done, failed, cancelled or
 // interrupted; interrupted means a shutdown drained it mid-grid —
@@ -98,7 +111,11 @@ type Server struct {
 	execDone chan struct{}
 
 	// Coordinator-mode lease state: the running job's grid (nil between
-	// jobs), lifetime counters, and last-seen worker identities.
+	// jobs), lifetime counters, and last-seen worker identities. epoch is
+	// a random per-process token baked into every lease ID and claim
+	// grant, so grants from a previous coordinator incarnation (whose job
+	// IDs restart from j000001) can never collide with fresh leases.
+	epoch       string
 	cluster     *clusterGrid
 	ctot        ClusterStats
 	workersSeen map[string]time.Time
@@ -110,6 +127,7 @@ func NewServer(store *Store, opt ServerOptions) *Server {
 	s := &Server{
 		store:       store,
 		opt:         opt.normalize(),
+		epoch:       newEpoch(),
 		jobs:        map[string]*job{},
 		draining:    make(chan struct{}),
 		execDone:    make(chan struct{}),

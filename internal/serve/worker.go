@@ -226,7 +226,7 @@ func (w *Worker) execute(ctx context.Context, co *Client, g ClaimResponse) {
 	// the store and the TTL expiry requeues the lease.
 	rctx, rcancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer rcancel()
-	resp, err := co.Complete(rctx, g.Lease, w.ID, reports)
+	resp, err := co.Complete(rctx, g.Lease, g.Job, w.ID, reports)
 	if w.Verbose != nil {
 		nres, ncached, nerr := 0, 0, 0
 		for _, rep := range reports {
